@@ -1,0 +1,143 @@
+package distkcore_test
+
+import (
+	"math"
+	"testing"
+
+	"distkcore"
+	"distkcore/internal/graph"
+)
+
+// These tests exercise the public API surface end to end, the way the
+// examples and a downstream user would.
+
+func buildTriPendant() *distkcore.Graph {
+	b := distkcore.NewBuilder(5)
+	b.AddEdge(0, 1, 1).AddEdge(1, 2, 1).AddEdge(0, 2, 1) // triangle
+	b.AddEdge(2, 3, 1).AddEdge(3, 4, 1)                  // pendant path
+	return b.Build()
+}
+
+func TestApproxCorenessAPI(t *testing.T) {
+	g := buildTriPendant()
+	res := distkcore.ApproxCoreness(g, 0.5)
+	exact := distkcore.ExactCoreness(g)
+	if res.T < 1 || res.Guarantee < 2 {
+		t.Fatalf("bad metadata %+v", res)
+	}
+	for v := 0; v < g.N(); v++ {
+		if res.B[v] < exact[v]-1e-9 {
+			t.Fatalf("β(%d)=%v < c=%v", v, res.B[v], exact[v])
+		}
+		if res.B[v] > res.Guarantee*exact[v]+1e-9 {
+			t.Fatalf("β(%d)=%v above guarantee", v, res.B[v])
+		}
+	}
+	// triangle nodes have coreness 2, path nodes 1
+	if exact[0] != 2 || exact[4] != 1 {
+		t.Fatalf("exact coreness wrong: %v", exact)
+	}
+}
+
+func TestApproxCorenessRoundsAPI(t *testing.T) {
+	g := buildTriPendant()
+	r1 := distkcore.ApproxCorenessRounds(g, 1)
+	r5 := distkcore.ApproxCorenessRounds(g, 5)
+	for v := 0; v < g.N(); v++ {
+		if r5.B[v] > r1.B[v]+1e-9 {
+			t.Fatal("more rounds must not increase β")
+		}
+	}
+	if r1.Guarantee <= r5.Guarantee {
+		t.Fatal("guarantee must tighten with rounds")
+	}
+}
+
+func TestMaximalDensitiesAPI(t *testing.T) {
+	g := buildTriPendant()
+	r := distkcore.MaximalDensities(g)
+	c := distkcore.ExactCoreness(g)
+	for v := 0; v < g.N(); v++ {
+		if r[v] > c[v]+1e-9 || c[v] > 2*r[v]+1e-9 {
+			t.Fatalf("sandwich violated at %d: r=%v c=%v", v, r[v], c[v])
+		}
+	}
+}
+
+func TestApproxOrientationAPI(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 3, 11)
+	res := distkcore.ApproxOrientation(g, 0.5)
+	if !res.O.Feasible(g) {
+		t.Fatal("infeasible orientation")
+	}
+	_, opt := distkcore.ExactMinMaxOrientation(g)
+	if res.MaxLoad < float64(opt)-1e-9 {
+		t.Fatal("distributed beat the optimum — impossible")
+	}
+	if res.MaxLoad > 3*float64(opt)+1e-9 {
+		t.Fatalf("load %v way above 2(1+ε)·OPT=%v", res.MaxLoad, 3*float64(opt))
+	}
+	// per-node certificate
+	loads := res.O.Loads(g)
+	for v, l := range loads {
+		if l > res.B[v]+1e-9 {
+			t.Fatalf("load(%d)=%v > β=%v", v, l, res.B[v])
+		}
+	}
+}
+
+func TestWeakDensestAPI(t *testing.T) {
+	g := graph.PlantedPartition(3, 15, 0.5, 0.01, 13)
+	res := distkcore.WeakDensest(g, 0.5)
+	_, rho := distkcore.DensestSubset(g)
+	best := res.Best()
+	if best == nil {
+		t.Fatal("no subset")
+	}
+	if best.Density < rho/3-1e-9 {
+		t.Fatalf("best %v < ρ*/3 = %v", best.Density, rho/3)
+	}
+}
+
+func TestDensestSubsetAPI(t *testing.T) {
+	g := buildTriPendant()
+	member, rho := distkcore.DensestSubset(g)
+	if math.Abs(rho-1) > 1e-9 {
+		t.Fatalf("ρ*=%v, want 1 (the triangle)", rho)
+	}
+	for v := 0; v < 3; v++ {
+		if !member[v] {
+			t.Fatalf("triangle node %d missing from densest subset", v)
+		}
+	}
+}
+
+func TestRunDistributedAPI(t *testing.T) {
+	g := graph.ErdosRenyi(200, 0.05, 17)
+	seq, m1 := distkcore.RunDistributed(g, 6, false)
+	par, m2 := distkcore.RunDistributed(g, 6, true)
+	for v := 0; v < g.N(); v++ {
+		if seq.B[v] != par.B[v] {
+			t.Fatalf("engines disagree at %d", v)
+		}
+	}
+	if m1.Messages != m2.Messages {
+		t.Fatalf("message counts differ: %d vs %d", m1.Messages, m2.Messages)
+	}
+	if m1.Rounds != 6 {
+		t.Fatalf("rounds=%d", m1.Rounds)
+	}
+}
+
+func TestRoundsForAndPowerGrid(t *testing.T) {
+	if distkcore.RoundsFor(1024, 1.0) != 10 {
+		t.Fatal("RoundsFor wrong")
+	}
+	lam := distkcore.PowerGrid(0.5)
+	if lam.RoundDown(100) > 100 {
+		t.Fatal("PowerGrid rounds up")
+	}
+	if lam.Exact() {
+		t.Fatal("PowerGrid must not be exact")
+	}
+}

@@ -1,0 +1,364 @@
+// Benchmarks: one per paper artifact (experiments E1–E10, regenerating the
+// corresponding figure/table rows at reduced scale per iteration) plus
+// micro-benchmarks of the building blocks. Run with
+//
+//	go test -bench=. -benchmem
+//
+// cmd/repro prints the full-scale tables themselves.
+package distkcore_test
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distkcore"
+	"distkcore/internal/core"
+	"distkcore/internal/densest"
+	"distkcore/internal/dist"
+	"distkcore/internal/dynamic"
+	"distkcore/internal/exact"
+	"distkcore/internal/experiments"
+	"distkcore/internal/external"
+	"distkcore/internal/graph"
+	"distkcore/internal/hyper"
+	"distkcore/internal/orient"
+)
+
+// --- experiment regeneration (tables & figures) ---
+
+func benchExperiment(b *testing.B, id string) {
+	spec, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := experiments.Config{Short: true, Seed: 42}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep := spec.Run(cfg)
+		if len(rep.Tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkE1FigureI1(b *testing.B)         { benchExperiment(b, "E1") }
+func BenchmarkE2Coreness(b *testing.B)         { benchExperiment(b, "E2") }
+func BenchmarkE3Orientation(b *testing.B)      { benchExperiment(b, "E3") }
+func BenchmarkE4Densest(b *testing.B)          { benchExperiment(b, "E4") }
+func BenchmarkE5LowerBound(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE6Quantization(b *testing.B)     { benchExperiment(b, "E6") }
+func BenchmarkE7Exact(b *testing.B)            { benchExperiment(b, "E7") }
+func BenchmarkE8DensestBaselines(b *testing.B) { benchExperiment(b, "E8") }
+func BenchmarkE9OrientBaselines(b *testing.B)  { benchExperiment(b, "E9") }
+func BenchmarkE10Convergence(b *testing.B)     { benchExperiment(b, "E10") }
+func BenchmarkE11AverageRatio(b *testing.B)    { benchExperiment(b, "E11") }
+func BenchmarkE12TieBreak(b *testing.B)        { benchExperiment(b, "E12") }
+func BenchmarkE13ConflictPolicy(b *testing.B)  { benchExperiment(b, "E13") }
+func BenchmarkE14Dynamic(b *testing.B)         { benchExperiment(b, "E14") }
+func BenchmarkE15Async(b *testing.B)           { benchExperiment(b, "E15") }
+func BenchmarkE16Hypergraph(b *testing.B)      { benchExperiment(b, "E16") }
+func BenchmarkE17SemiExternal(b *testing.B)    { benchExperiment(b, "E17") }
+
+// --- core algorithm scaling ---
+
+func benchGraph(n int) *graph.Graph { return graph.BarabasiAlbert(n, 4, 7) }
+
+func BenchmarkCompactElimination1k(b *testing.B)  { benchElim(b, 1_000) }
+func BenchmarkCompactElimination10k(b *testing.B) { benchElim(b, 10_000) }
+func BenchmarkCompactElimination50k(b *testing.B) { benchElim(b, 50_000) }
+
+func benchElim(b *testing.B, n int) {
+	g := benchGraph(n)
+	T := core.TForEpsilon(n, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(g, core.Options{Rounds: T})
+	}
+	b.ReportMetric(float64(T), "rounds")
+}
+
+func BenchmarkEliminationWithAux10k(b *testing.B) {
+	g := benchGraph(10_000)
+	T := core.TForEpsilon(10_000, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(g, core.Options{Rounds: T, TrackAux: true})
+	}
+}
+
+func BenchmarkExactConvergence10k(b *testing.B) {
+	g := benchGraph(10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(g, core.Options{Rounds: 0}) // Montresor exact
+	}
+}
+
+// --- engines: sequential loop vs goroutine-per-node channels ---
+
+func BenchmarkSeqEngine5k(b *testing.B) { benchEngine(b, dist.SeqEngine{}) }
+func BenchmarkParEngine5k(b *testing.B) { benchEngine(b, dist.ParEngine{}) }
+
+func benchEngine(b *testing.B, eng dist.Engine) {
+	g := benchGraph(5_000)
+	T := core.TForEpsilon(5_000, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var msgs int64
+	for i := 0; i < b.N; i++ {
+		_, met := core.RunDistributed(g, core.Options{Rounds: T}, eng)
+		msgs = met.Messages
+	}
+	b.ReportMetric(float64(msgs), "msgs/run")
+}
+
+// --- exact baselines ---
+
+func BenchmarkBZCores100k(b *testing.B) {
+	g := benchGraph(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exact.CoresUnweighted(g)
+	}
+}
+
+func BenchmarkWeightedPeel50k(b *testing.B) {
+	g := graph.Apply(benchGraph(50_000), graph.UniformWeights{Lo: 1, Hi: 9}, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exact.CoresWeighted(g)
+	}
+}
+
+func BenchmarkExactDensestFlow2k(b *testing.B) {
+	g := benchGraph(2_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exact.Densest(g)
+	}
+}
+
+func BenchmarkCharikarPeel50k(b *testing.B) {
+	g := benchGraph(50_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exact.CharikarPeel(g)
+	}
+}
+
+func BenchmarkLocallyDense1k(b *testing.B) {
+	g := benchGraph(1_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exact.LocallyDense(g)
+	}
+}
+
+func BenchmarkExactOrientationUnit2k(b *testing.B) {
+	g := benchGraph(2_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exact.ExactOrientationUnit(g)
+	}
+}
+
+// --- the three deliverable pipelines end to end ---
+
+func BenchmarkPipelineCoreness20k(b *testing.B) {
+	g := benchGraph(20_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		distkcore.ApproxCoreness(g, 0.5)
+	}
+}
+
+func BenchmarkPipelineOrientation20k(b *testing.B) {
+	g := benchGraph(20_000)
+	T := core.TForEpsilon(20_000, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		orient.Approximate(g, T)
+	}
+}
+
+func BenchmarkPipelineWeakDensest5k(b *testing.B) {
+	g := benchGraph(5_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		densest.Weak(g, densest.Config{Gamma: 3})
+	}
+}
+
+func BenchmarkWeakDensestDistributed2k(b *testing.B) {
+	g := benchGraph(2_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		densest.RunWeakDistributed(g, densest.Config{Gamma: 3}, dist.SeqEngine{})
+	}
+}
+
+// --- dynamic maintenance: incremental repair vs from-scratch ---
+
+func BenchmarkDynamicChurn10k(b *testing.B) {
+	g := benchGraph(10_000)
+	T := core.TForEpsilon(10_000, 0.5)
+	m := dynamic.New(g, T)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := rng.Intn(10_000), rng.Intn(10_000)
+		m.InsertEdge(u, v, 1)
+		m.DeleteEdge(u, v)
+	}
+	b.ReportMetric(float64(m.Stats.Reevaluated)/float64(m.Stats.Updates), "reevals/op")
+}
+
+func BenchmarkDynamicScratchBaseline10k(b *testing.B) {
+	// what each churn event would cost without the maintainer
+	g := benchGraph(10_000)
+	T := core.TForEpsilon(10_000, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(g, core.Options{Rounds: T})
+	}
+}
+
+// --- flow engines head to head (densest-subset network shape) ---
+
+func BenchmarkFlowDinicDensestNet(b *testing.B)       { benchFlow(b, true) }
+func BenchmarkFlowPushRelabelDensestNet(b *testing.B) { benchFlow(b, false) }
+
+func benchFlow(b *testing.B, dinic bool) {
+	g := benchGraph(2_000)
+	rho := g.Density() * 1.5
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dinic {
+			d := exact.NewDinic(2 + g.M() + g.N())
+			buildFlowNet(g, rho, d.AddArc)
+			d.MaxFlow(0, 1)
+		} else {
+			p := exact.NewPushRelabel(2 + g.M() + g.N())
+			buildFlowNet(g, rho, p.AddArc)
+			p.MaxFlow(0, 1)
+		}
+	}
+}
+
+func buildFlowNet(g *graph.Graph, rho float64, addArc func(int, int, float64) int) {
+	inf := math.Inf(1)
+	m := g.M()
+	for i, e := range g.Edges() {
+		addArc(0, 2+i, e.W)
+		addArc(2+i, 2+m+e.U, inf)
+		if !e.IsLoop() {
+			addArc(2+i, 2+m+e.V, inf)
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		addArc(2+m+v, 1, rho)
+	}
+}
+
+// --- asynchronous engine ---
+
+func BenchmarkAsyncElimination5k(b *testing.B) {
+	g := benchGraph(5_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		_, met := core.RunAsyncElimination(g, dist.DelayModel{Base: 1, Jitter: 1, Seed: int64(i)}, 1e9)
+		events = met.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+// --- hypergraph elimination ---
+
+func BenchmarkHypergraphElimination(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n, m := 2_000, 8_000
+	edges := make([]hyper.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		k := 2 + rng.Intn(3)
+		edges = append(edges, hyper.Edge{Nodes: rng.Perm(n)[:k], W: 1})
+	}
+	h, err := hyper.NewHypergraph(n, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	T := core.TForEpsilon(n, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.SurvivingNumbers(T)
+	}
+}
+
+// --- semi-external streaming passes ---
+
+func BenchmarkSemiExternalCores(b *testing.B) {
+	g := benchGraph(20_000)
+	path := filepath.Join(b.TempDir(), "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, g, true); err != nil {
+		b.Fatal(err)
+	}
+	f.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := external.CoresFromFile(path, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("no convergence")
+		}
+	}
+}
+
+// --- ablation: stable vs unstable tie-breaking cost ---
+
+func BenchmarkStableTieBreak5k(b *testing.B) {
+	g := benchGraph(5_000)
+	T := core.TForEpsilon(5_000, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(g, core.Options{Rounds: T, TrackAux: true})
+	}
+}
+
+func BenchmarkUnstableTieBreak5k(b *testing.B) {
+	g := benchGraph(5_000)
+	T := core.TForEpsilon(5_000, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RunAblatedTieBreak(g, T)
+	}
+}

@@ -1,0 +1,52 @@
+// Command repro regenerates the paper's figures, theorem tables and
+// full-version empirical claims (experiments E1–E10; see DESIGN.md §4).
+//
+// Usage:
+//
+//	repro              # run everything at full scale
+//	repro -short       # CI-sized workloads
+//	repro -e E3,E9     # selected experiments
+//	repro -list        # show the index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"distkcore/internal/experiments"
+)
+
+func main() {
+	short := flag.Bool("short", false, "run reduced-size workloads")
+	list := flag.Bool("list", false, "list experiments and exit")
+	sel := flag.String("e", "", "comma-separated experiment IDs (default: all)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.All() {
+			fmt.Printf("%-4s %s\n", s.ID, s.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Short: *short, Seed: *seed}
+	var specs []experiments.Spec
+	if *sel == "" {
+		specs = experiments.All()
+	} else {
+		for _, id := range strings.Split(*sel, ",") {
+			s, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "repro: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			specs = append(specs, s)
+		}
+	}
+	for _, s := range specs {
+		fmt.Println(s.Run(cfg).String())
+	}
+}

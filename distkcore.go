@@ -1,0 +1,161 @@
+// Package distkcore is a Go implementation of
+//
+//	T-H. Hubert Chan, Mauro Sozio, Bintao Sun:
+//	"Distributed Approximate k-Core Decomposition and Min-Max Edge
+//	 Orientation: Breaking the Diameter Barrier", IEEE IPDPS 2019.
+//
+// It provides distributed (LOCAL-model) algorithms whose round complexity
+// is logarithmic in the number of nodes and independent of the graph
+// diameter:
+//
+//   - ApproxCoreness: 2(1+ε)-approximate coreness values and maximal
+//     densities via the compact elimination procedure (Theorem I.1),
+//   - ApproxOrientation: 2(1+ε)-approximate min-max edge orientation via
+//     the primal-dual augmented procedure (Theorem I.2),
+//   - WeakDensest: the distributed (weak) densest subset problem
+//     (Theorem I.3),
+//
+// together with the exact centralized ground-truth algorithms used for
+// evaluation (exact cores, exact densest subsets and locally-dense
+// decompositions, exact unit-weight orientations) and a synchronous
+// message-passing simulator with sequential and goroutine-per-node engines.
+//
+// The subpackages under internal/ carry the implementation; this package
+// re-exports the surface a downstream user needs. See README.md for a
+// quickstart and DESIGN.md for the architecture.
+package distkcore
+
+import (
+	"distkcore/internal/core"
+	"distkcore/internal/densest"
+	"distkcore/internal/dist"
+	"distkcore/internal/exact"
+	"distkcore/internal/graph"
+	"distkcore/internal/orient"
+	"distkcore/internal/quantize"
+)
+
+// Re-exported graph types and constructors.
+type (
+	// Graph is an immutable weighted undirected graph (self-loops allowed).
+	Graph = graph.Graph
+	// Builder accumulates edges into a Graph.
+	Builder = graph.Builder
+	// Edge is an undirected weighted edge.
+	Edge = graph.Edge
+	// NodeID identifies a node (0..n-1).
+	NodeID = graph.NodeID
+	// Orientation assigns every edge to one endpoint.
+	Orientation = exact.Orientation
+	// Lambda is a message-quantization threshold set (Section III-C).
+	Lambda = quantize.Lambda
+	// Metrics reports communication cost of a distributed run.
+	Metrics = dist.Metrics
+)
+
+// NewBuilder returns a Builder for a graph with n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// CorenessResult is the outcome of the approximate coreness computation.
+type CorenessResult struct {
+	// B[v] is the surviving number β_T(v): an upper bound on the coreness
+	// c(v) and at most γ·r(v) where r is the maximal density (Theorem I.1).
+	B []float64
+	// T is the number of rounds executed.
+	T int
+	// Guarantee is the proven approximation factor 2·n^{1/T}.
+	Guarantee float64
+}
+
+// ApproxCoreness runs the compact elimination procedure for
+// T = ⌈log_{1+eps} n⌉ rounds, yielding a 2(1+eps)-approximation of every
+// node's coreness and maximal density, independent of the graph diameter.
+func ApproxCoreness(g *Graph, eps float64) CorenessResult {
+	T := core.TForEpsilon(g.N(), eps)
+	res := core.Run(g, core.Options{Rounds: T})
+	return CorenessResult{B: res.B, T: T, Guarantee: core.GuaranteeAtT(g.N(), T)}
+}
+
+// ApproxCorenessRounds is ApproxCoreness with an explicit round budget T;
+// the guarantee degrades gracefully to 2·n^{1/T} (Theorem I.1).
+func ApproxCorenessRounds(g *Graph, T int) CorenessResult {
+	res := core.Run(g, core.Options{Rounds: T})
+	return CorenessResult{B: res.B, T: T, Guarantee: core.GuaranteeAtT(g.N(), T)}
+}
+
+// ExactCoreness computes exact coreness values centrally (weighted peeling).
+func ExactCoreness(g *Graph) []float64 { return exact.CoresWeighted(g) }
+
+// MaximalDensities computes the exact maximal density r(v) of every node
+// (Definition II.3) via repeated maximal-densest-subset extraction.
+func MaximalDensities(g *Graph) []float64 {
+	r, _, _ := exact.LocallyDense(g)
+	return r
+}
+
+// OrientationResult is the outcome of the approximate min-max orientation.
+type OrientationResult struct {
+	// O assigns every edge to an endpoint; feasible by Lemma III.11.
+	O Orientation
+	// MaxLoad is the achieved maximum weighted in-degree.
+	MaxLoad float64
+	// LowerBound is ρ* when computed (see ApproxOrientation) — the LP
+	// lower bound on the optimum.
+	B []float64
+	// T is the number of rounds executed.
+	T int
+}
+
+// ApproxOrientation runs the augmented elimination procedure for
+// T = ⌈log_{1+eps} n⌉ rounds and resolves the auxiliary sets into a
+// feasible orientation whose maximum load is at most 2(1+eps)·OPT
+// (Theorem I.2).
+func ApproxOrientation(g *Graph, eps float64) OrientationResult {
+	T := core.TForEpsilon(g.N(), eps)
+	o, load, b := orient.Approximate(g, T)
+	return OrientationResult{O: o, MaxLoad: load, B: b, T: T}
+}
+
+// ExactMinMaxOrientation solves the problem optimally for unit weights
+// (polynomial case); it returns the orientation and the optimal value.
+func ExactMinMaxOrientation(g *Graph) (Orientation, int) {
+	return exact.ExactOrientationUnit(g)
+}
+
+// DensestSubset computes the maximal densest subset exactly (centralized).
+func DensestSubset(g *Graph) (member []bool, rho float64) {
+	res := exact.Densest(g)
+	return res.Member, res.Rho
+}
+
+// WeakDensestResult re-exports the weak densest subset outcome.
+type WeakDensestResult = densest.Result
+
+// WeakDensest runs the four-phase distributed algorithm of Theorem I.3 with
+// γ = 2(1+eps): it returns disjoint subsets, each with a leader, at least
+// one of which is a γ-approximate densest subset.
+func WeakDensest(g *Graph, eps float64) *WeakDensestResult {
+	return densest.Weak(g, densest.Config{Gamma: 2 * (1 + eps)})
+}
+
+// RunDistributed executes the compact elimination procedure as a real
+// message-passing protocol (one goroutine per node when parallel is true)
+// and reports communication metrics alongside the result.
+func RunDistributed(g *Graph, T int, parallel bool) (CorenessResult, Metrics) {
+	var eng dist.Engine = dist.SeqEngine{}
+	if parallel {
+		eng = dist.ParEngine{}
+	}
+	res, met := core.RunDistributed(g, core.Options{Rounds: T}, eng)
+	return CorenessResult{B: res.B, T: T, Guarantee: core.GuaranteeAtT(g.N(), T)}, met
+}
+
+// RoundsFor returns T = ⌈log_{1+eps} n⌉, the budget all three algorithms
+// need for a 2(1+eps) guarantee on an n-node graph.
+func RoundsFor(n int, eps float64) int { return core.TForEpsilon(n, eps) }
+
+// PowerGrid returns the powers-of-(1+lambda) quantization set for
+// bandwidth-limited (Congest-style) deployments; pass it to nothing here —
+// it is consumed by the lower-level core.Options API — but is re-exported
+// so callers can compute message sizes.
+func PowerGrid(lambda float64) Lambda { return quantize.NewPowerGrid(lambda) }

@@ -1,0 +1,115 @@
+// Community detection with weak densest subsets: the paper motivates
+// density as a community-quality measure (Yang & Leskovec). We build a
+// network of communities of *different* internal densities, sparsely
+// bridged — so the diminishingly-dense decomposition is non-trivial — and
+// run the weak densest subset algorithm. It returns disjoint subsets, each
+// with a leader every member knows: exactly the structure a decentralized
+// community-detection protocol needs. We measure purity against the
+// planted ground truth.
+//
+//	go run ./examples/community
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"distkcore"
+	"distkcore/internal/graph"
+)
+
+const (
+	communities = 6
+	csize       = 50
+)
+
+// buildNetwork plants 6 communities with internal edge probabilities
+// falling from 0.6 to 0.1, plus a handful of random bridges.
+func buildNetwork(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := communities * csize
+	b := graph.NewBuilder(n)
+	for c := 0; c < communities; c++ {
+		pin := 0.6 - 0.1*float64(c)
+		base := c * csize
+		for u := 0; u < csize; u++ {
+			for v := u + 1; v < csize; v++ {
+				if rng.Float64() < pin {
+					b.AddUnitEdge(base+u, base+v)
+				}
+			}
+		}
+	}
+	// sparse bridges: ~2 per community pair
+	for c1 := 0; c1 < communities; c1++ {
+		for c2 := c1 + 1; c2 < communities; c2++ {
+			for k := 0; k < 2; k++ {
+				b.AddUnitEdge(c1*csize+rng.Intn(csize), c2*csize+rng.Intn(csize))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func main() {
+	g := buildNetwork(99)
+	fmt.Printf("network: %d communities × %d members (densities 0.6 … 0.1), m=%d\n",
+		communities, csize, g.M())
+
+	eps := 0.5 // γ = 3
+	res := distkcore.WeakDensest(g, eps)
+	_, rho := distkcore.DensestSubset(g)
+	fmt.Printf("exact ρ* = %.3f; algorithm used %d total rounds\n\n", rho, res.TotalRounds)
+
+	fmt.Printf("recovered %d disjoint subsets:\n", len(res.Subsets))
+	for i, s := range res.Subsets {
+		if i >= 10 {
+			fmt.Printf("  ... and %d more\n", len(res.Subsets)-i)
+			break
+		}
+		purity, home := purityOf(s.Members)
+		fmt.Printf("  subset %d: leader %4d, |S|=%3d, density %.2f, %3.0f%% from community %d\n",
+			i, s.Leader, len(s.Members), s.Density, purity*100, home)
+	}
+
+	best := res.Best()
+	if best == nil {
+		fmt.Println("no subset accepted")
+		return
+	}
+	fmt.Printf("\nbest subset density %.3f ≥ ρ*/γ = %.3f: %v\n",
+		best.Density, rho/3, best.Density >= rho/3)
+
+	// The densest community (community 0, pin=0.6) should dominate the best
+	// subset.
+	purity, home := purityOf(best.Members)
+	fmt.Printf("best subset purity: %.0f%% from community %d (densest planted = 0)\n",
+		purity*100, home)
+
+	// every member knows its leader — the protocol's defining promise
+	bad := 0
+	for _, s := range res.Subsets {
+		for _, v := range s.Members {
+			if res.LeaderOf[v] != s.Leader {
+				bad++
+			}
+		}
+	}
+	fmt.Printf("members with inconsistent leader knowledge: %d (must be 0)\n", bad)
+}
+
+// purityOf returns the fraction of members in the most common planted
+// community and that community's index.
+func purityOf(members []int) (float64, int) {
+	count := map[int]int{}
+	for _, v := range members {
+		count[v/csize]++
+	}
+	best, home := 0, -1
+	for c, k := range count {
+		if k > best {
+			best, home = k, c
+		}
+	}
+	return float64(best) / float64(len(members)), home
+}

@@ -1,0 +1,50 @@
+// Quickstart: the three headline algorithms of the paper on one small
+// graph, through the public distkcore API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"distkcore"
+)
+
+func main() {
+	// A toy network: two dense communities (triangles of heavy friendship)
+	// joined by a long chain of acquaintances.
+	//
+	//	0-1-2 triangle ... chain 3-4-5-6 ... 7-8-9 triangle
+	b := distkcore.NewBuilder(10)
+	b.AddEdge(0, 1, 1).AddEdge(1, 2, 1).AddEdge(0, 2, 1) // community A
+	b.AddEdge(2, 3, 1).AddEdge(3, 4, 1).AddEdge(4, 5, 1) // chain
+	b.AddEdge(5, 6, 1).AddEdge(6, 7, 1)
+	b.AddEdge(7, 8, 1).AddEdge(8, 9, 1).AddEdge(7, 9, 1) // community B
+	g := b.Build()
+
+	eps := 0.5 // target guarantee 2(1+ε) = 3
+
+	// 1. Approximate coreness: O(log n) rounds, diameter-independent.
+	cr := distkcore.ApproxCoreness(g, eps)
+	exactC := distkcore.ExactCoreness(g)
+	fmt.Printf("coreness after T=%d rounds (guarantee %.2f):\n", cr.T, cr.Guarantee)
+	for v := 0; v < g.N(); v++ {
+		fmt.Printf("  node %d: β=%.2f  exact c=%.2f\n", v, cr.B[v], exactC[v])
+	}
+
+	// 2. Min-max edge orientation: assign every edge to an endpoint,
+	// minimizing the maximum load.
+	or := distkcore.ApproxOrientation(g, eps)
+	fmt.Printf("\norientation: max load %.2f (feasible=%v)\n", or.MaxLoad, or.O.Feasible(g))
+	_, opt := distkcore.ExactMinMaxOrientation(g)
+	fmt.Printf("exact optimum for unit weights: %d\n", opt)
+
+	// 3. Weak densest subset: disjoint subsets with leaders, one of which
+	// is an approximate densest subset.
+	wd := distkcore.WeakDensest(g, eps)
+	_, rho := distkcore.DensestSubset(g)
+	fmt.Printf("\nweak densest subsets (exact ρ* = %.3f):\n", rho)
+	for _, s := range wd.Subsets {
+		fmt.Printf("  leader %d: members %v, density %.3f\n", s.Leader, s.Members, s.Density)
+	}
+}

@@ -1,0 +1,53 @@
+// Package cliutil holds flag plumbing shared by the cmd/ tools.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	"distkcore/internal/graph"
+)
+
+// LoadGraph resolves the -in / -gen flags shared by the CLI tools.
+func LoadGraph(path, gen string, n int, seed int64) (*graph.Graph, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadEdgeList(f)
+	}
+	switch gen {
+	case "er":
+		return graph.ErdosRenyi(n, 8/float64(n), seed), nil
+	case "ba":
+		return graph.BarabasiAlbert(n, 4, seed), nil
+	case "rmat":
+		s := 1
+		for (1 << s) < n {
+			s++
+		}
+		return graph.RMAT(s, 8, 0.57, 0.19, 0.19, seed), nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return graph.Grid(side, side), nil
+	case "caveman":
+		k := n / 12
+		if k < 3 {
+			k = 3
+		}
+		return graph.Caveman(k, 12), nil
+	case "planted":
+		k := n / 50
+		if k < 2 {
+			k = 2
+		}
+		return graph.PlantedPartition(k, 50, 0.25, 0.002, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", gen)
+	}
+}

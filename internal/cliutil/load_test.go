@@ -1,0 +1,47 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distkcore/internal/graph"
+)
+
+func TestLoadGenerators(t *testing.T) {
+	for _, gen := range []string{"er", "ba", "rmat", "grid", "caveman", "planted"} {
+		g, err := LoadGraph("", gen, 300, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if g.N() == 0 || g.M() == 0 {
+			t.Fatalf("%s: degenerate graph n=%d m=%d", gen, g.N(), g.M())
+		}
+	}
+	if _, err := LoadGraph("", "nope", 10, 1); err == nil {
+		t.Fatal("unknown generator must error")
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	g := graph.Cycle(9)
+	path := filepath.Join(t.TempDir(), "c9.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, g, true); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := LoadGraph(path, "ignored", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 9 || got.M() != 9 {
+		t.Fatalf("n=%d m=%d", got.N(), got.M())
+	}
+	if _, err := LoadGraph("/does/not/exist", "", 0, 0); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

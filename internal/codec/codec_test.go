@@ -1,0 +1,97 @@
+package codec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"distkcore/internal/quantize"
+)
+
+func TestRoundTripPowerGrid(t *testing.T) {
+	for _, lambda := range []float64{0.01, 0.1, 0.5, 2} {
+		lam := quantize.NewPowerGrid(lambda)
+		for _, raw := range []float64{0, 0.25, 1, 2, 3.7, 100, 1e6, math.Inf(1)} {
+			x := lam.RoundDown(raw)
+			buf := EncodeValue(nil, lam, x)
+			got, n, err := DecodeValue(buf, lam)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(buf) {
+				t.Fatalf("consumed %d of %d bytes", n, len(buf))
+			}
+			if math.IsInf(x, 1) {
+				if !math.IsInf(got, 1) {
+					t.Fatalf("λ=%v: inf round trip gave %v", lambda, got)
+				}
+				continue
+			}
+			if math.Abs(got-x) > 1e-9*(1+x) {
+				t.Fatalf("λ=%v: %v → %v", lambda, x, got)
+			}
+		}
+	}
+}
+
+func TestRoundTripReals(t *testing.T) {
+	lam := quantize.Reals{}
+	for _, x := range []float64{0, 1.5, math.Pi, 1e-30, 1e300, math.Inf(1)} {
+		buf := EncodeValue(nil, lam, x)
+		if len(buf) != 8 {
+			t.Fatalf("reals must cost 8 bytes, got %d", len(buf))
+		}
+		got, n, err := DecodeValue(buf, lam)
+		if err != nil || n != 8 || got != x {
+			t.Fatalf("%v → %v (n=%d err=%v)", x, got, n, err)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	lam := quantize.NewPowerGrid(0.1)
+	check := func(raw uint32) bool {
+		x := lam.RoundDown(float64(raw%1000000)/97 + 0.01)
+		buf := EncodeValue(nil, lam, x)
+		got, _, err := DecodeValue(buf, lam)
+		return err == nil && math.Abs(got-x) <= 1e-9*(1+x)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompression(t *testing.T) {
+	// Quantized values around typical degrees must encode in ≤ 2 bytes vs
+	// 8 for raw floats.
+	lam := quantize.NewPowerGrid(0.1)
+	for _, x := range []float64{1, 7, 150, 4000} {
+		v := lam.RoundDown(x)
+		if n := len(EncodeValue(nil, lam, v)); n > 2 {
+			t.Fatalf("value %v costs %d bytes", v, n)
+		}
+	}
+	if EncodedSize(lam, 5, lam.RoundDown(42)) > 3 {
+		t.Fatal("small sender + value must fit 3 bytes")
+	}
+	if EncodedSize(quantize.Reals{}, 5, 42) < 9 {
+		t.Fatal("reals sender + value must cost at least 9 bytes")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeValue(nil, quantize.Reals{}); err == nil {
+		t.Fatal("truncated float must error")
+	}
+	if _, _, err := DecodeValue(nil, quantize.NewPowerGrid(0.1)); err == nil {
+		t.Fatal("truncated varint must error")
+	}
+}
+
+func TestZigZag(t *testing.T) {
+	for _, k := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40)} {
+		if got := unzigzag(zigzag(k)); got != k {
+			t.Fatalf("zigzag(%d) → %d", k, got)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"distkcore/internal/graph"
+)
+
+// This file carries the ablation hooks for the design choices the paper
+// motivates: the *stable* historical tie-breaking of Algorithm 3 is what
+// makes the auxiliary-set invariants (Definition III.7) hold — Lemma
+// III.11's proof leans on it explicitly. UnstableUpdater discards the
+// history, so experiments can measure how often invariant 2 ("every edge
+// is claimed by an endpoint") breaks without it.
+
+// UnstableUpdater mimics Updater but re-sorts from the (neighbor ID, arc
+// index) baseline every round, i.e. ties are resolved by identity only,
+// ignoring past surviving numbers. It intentionally violates the paper's
+// tie-breaking contract.
+type UnstableUpdater struct {
+	arcs []graph.Arc
+	base []int
+	ord  []int
+	vals []float64
+}
+
+// NewUnstableUpdater creates the ablated Update state for a node.
+func NewUnstableUpdater(arcs []graph.Arc) *UnstableUpdater {
+	u := &UnstableUpdater{
+		arcs: arcs,
+		base: make([]int, len(arcs)),
+		ord:  make([]int, len(arcs)),
+		vals: make([]float64, len(arcs)),
+	}
+	for i := range u.base {
+		u.base[i] = i
+	}
+	sort.SliceStable(u.base, func(a, b int) bool {
+		ia, ib := u.base[a], u.base[b]
+		if u.arcs[ia].To != u.arcs[ib].To {
+			return u.arcs[ia].To < u.arcs[ib].To
+		}
+		return ia < ib
+	})
+	return u
+}
+
+// Step performs the ablated Algorithm 3 round.
+func (u *UnstableUpdater) Step(bOf func(arcIdx int) float64) (b float64, aux []int) {
+	d := len(u.base)
+	if d == 0 {
+		return 0, nil
+	}
+	copy(u.ord, u.base) // forget history: restart from the identity order
+	for _, i := range u.ord {
+		u.vals[i] = bOf(i)
+	}
+	sort.SliceStable(u.ord, func(a, b int) bool {
+		return u.vals[u.ord[a]] < u.vals[u.ord[b]]
+	})
+	s := 0.0
+	for i := d - 1; i >= 0; i-- {
+		s += u.arcs[u.ord[i]].W
+		prev := math.Inf(-1)
+		if i > 0 {
+			prev = u.vals[u.ord[i-1]]
+		}
+		if s > prev {
+			bi := u.vals[u.ord[i]]
+			if s <= bi {
+				return s, append([]int(nil), u.ord[i:]...)
+			}
+			return bi, append([]int(nil), u.ord[i+1:]...)
+		}
+	}
+	return 0, nil
+}
+
+// RunAblatedTieBreak runs the compact elimination procedure with the
+// unstable updater and returns the surviving numbers, the auxiliary sets
+// and the count of edges left unclaimed after T rounds (invariant-2
+// violations — always 0 with the paper's stable rule, see
+// TestInvariantsHoldEveryRound).
+func RunAblatedTieBreak(g *graph.Graph, T int) (res *Result, unclaimed int) {
+	n := g.N()
+	res = &Result{B: make([]float64, n), AuxEdges: make([][]int, n), Rounds: T}
+	cur := res.B
+	for v := range cur {
+		cur[v] = math.Inf(1)
+	}
+	prev := make([]float64, n)
+	upds := make([]*UnstableUpdater, n)
+	for v := 0; v < n; v++ {
+		upds[v] = NewUnstableUpdater(g.Adj(v))
+	}
+	for t := 1; t <= T; t++ {
+		copy(prev, cur)
+		for v := 0; v < n; v++ {
+			nb, auxArcs := upds[v].Step(func(i int) float64 {
+				return prev[g.Adj(v)[i].To]
+			})
+			edges := make([]int, len(auxArcs))
+			for k, ai := range auxArcs {
+				edges[k] = g.Adj(v)[ai].EdgeID
+			}
+			res.AuxEdges[v] = edges
+			cur[v] = nb
+		}
+	}
+	claimed := make([]bool, g.M())
+	for _, edges := range res.AuxEdges {
+		for _, eid := range edges {
+			claimed[eid] = true
+		}
+	}
+	for _, c := range claimed {
+		if !c {
+			unclaimed++
+		}
+	}
+	return res, unclaimed
+}

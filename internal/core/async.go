@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+
+	"distkcore/internal/dist"
+	"distkcore/internal/graph"
+)
+
+// asyncElimination is the compact elimination procedure in the fully
+// asynchronous model: a node recomputes its surviving number whenever a
+// neighbor's value arrives and announces its own value only when it
+// changed. Because the update operator is monotone (values only decrease
+// from +∞) and the asynchronous schedule delivers every sent message, this
+// chaotic iteration converges to the same greatest fixpoint as the
+// synchronous iteration run to convergence — the exact coreness
+// (Montresor et al.). The paper's related work (Gillet & Hanusse) studies
+// this regime for the orientation problem.
+type asyncElimination struct {
+	id   graph.NodeID
+	b    float64
+	nbrB map[graph.NodeID]float64
+	sink *AsyncResult
+}
+
+// AsyncResult collects the quiescent state of an asynchronous run.
+type AsyncResult struct {
+	// B[v] is the value at quiescence (the exact coreness when the event
+	// budget was not exhausted).
+	B []float64
+	// Recomputes counts local update evaluations across all nodes.
+	Recomputes int64
+}
+
+// RunAsyncElimination executes the asynchronous elimination under the
+// given delay model. It returns the quiescent values and the engine
+// metrics; pass maxEvents to bound runaway schedules (quiescence is
+// guaranteed, so a generous budget is only a safety net).
+func RunAsyncElimination(g *graph.Graph, d dist.DelayModel, maxEvents int64) (*AsyncResult, dist.AsyncMetrics) {
+	res := &AsyncResult{B: make([]float64, g.N())}
+	progs := make([]*asyncElimination, g.N())
+	met := dist.RunAsync(g, func(v graph.NodeID) dist.AsyncProgram {
+		p := &asyncElimination{id: v, sink: res}
+		progs[v] = p
+		return p
+	}, d, maxEvents)
+	for v, p := range progs {
+		res.B[v] = p.b
+	}
+	return res, met
+}
+
+func (p *asyncElimination) InitAsync(c *dist.AsyncCtx) {
+	p.nbrB = make(map[graph.NodeID]float64, len(c.Neighbors()))
+	for _, a := range c.Neighbors() {
+		p.nbrB[a.To] = math.Inf(1)
+	}
+	// Initial value: the local degree (what one synchronous round yields —
+	// no information is needed from neighbors to know it).
+	p.b = c.WeightedDegree()
+	c.Broadcast(dist.Message{F0: p.b})
+}
+
+func (p *asyncElimination) OnMessage(c *dist.AsyncCtx, m dist.Message) {
+	if m.F0 >= p.nbrB[m.From] {
+		return // stale or duplicate announcement
+	}
+	p.nbrB[m.From] = m.F0
+	p.recompute(c)
+}
+
+func (p *asyncElimination) recompute(c *dist.AsyncCtx) {
+	p.sink.Recomputes++
+	arcs := c.Neighbors()
+	bs := make([]float64, 0, len(arcs))
+	ws := make([]float64, 0, len(arcs))
+	for _, a := range arcs {
+		if a.To == p.id {
+			bs = append(bs, p.b)
+		} else {
+			bs = append(bs, p.nbrB[a.To])
+		}
+		ws = append(ws, a.W)
+	}
+	nb := UpdateValue(bs, ws, make([]int, 0, len(arcs)))
+	if nb < p.b {
+		p.b = nb
+		c.Broadcast(dist.Message{F0: p.b})
+	}
+}

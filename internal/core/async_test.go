@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"distkcore/internal/dist"
+	"distkcore/internal/graph"
+)
+
+func TestAsyncConvergesToExactCoreness(t *testing.T) {
+	for name, g := range testGraphs(31) {
+		want := exactCorenessRef(g)
+		res, met := RunAsyncElimination(g, dist.DelayModel{Base: 1, Jitter: 0, Seed: 1}, 1e7)
+		if met.Events >= 1e7 {
+			t.Fatalf("%s: event budget exhausted — no quiescence", name)
+		}
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(res.B[v]-want[v]) > 1e-9 {
+				t.Fatalf("%s: async b(%d)=%v, coreness %v", name, v, res.B[v], want[v])
+			}
+		}
+	}
+}
+
+func TestAsyncOrderIndependence(t *testing.T) {
+	// Wildly different delay schedules must reach the same fixpoint.
+	g := graph.BarabasiAlbert(80, 3, 17)
+	want := exactCorenessRef(g)
+	for _, d := range []dist.DelayModel{
+		{Base: 1, Jitter: 0, Seed: 1},
+		{Base: 0.1, Jitter: 10, Seed: 2},
+		{Base: 1, Jitter: 100, Seed: 3},
+	} {
+		res, _ := RunAsyncElimination(g, d, 1e7)
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(res.B[v]-want[v]) > 1e-9 {
+				t.Fatalf("delay %+v: node %d got %v, want %v", d, v, res.B[v], want[v])
+			}
+		}
+	}
+}
+
+func TestAsyncVirtualTimeTracksSyncRounds(t *testing.T) {
+	// With unit deterministic delays the async makespan equals the number
+	// of synchronous rounds the value cascade needs (±1 for the initial
+	// degree short-cut).
+	g := graph.Path(60)
+	_, rounds := ExactCoreness(g)
+	_, met := RunAsyncElimination(g, dist.DelayModel{Base: 1, Jitter: 0, Seed: 4}, 1e7)
+	if met.VirtualTime > float64(rounds)+1 {
+		t.Fatalf("async makespan %v vs sync rounds %d", met.VirtualTime, rounds)
+	}
+	if met.VirtualTime < 2 {
+		t.Fatalf("implausibly fast: %v", met.VirtualTime)
+	}
+}
+
+func TestAsyncQuiescenceMessageCount(t *testing.T) {
+	// A clique stabilizes immediately after the first exchange: everyone's
+	// degree n-1 is already the coreness, so nobody re-announces.
+	g := graph.Clique(10)
+	res, met := RunAsyncElimination(g, dist.DelayModel{Base: 1, Seed: 5}, 1e7)
+	for v := 0; v < 10; v++ {
+		if res.B[v] != 9 {
+			t.Fatalf("clique async b=%v", res.B[v])
+		}
+	}
+	// exactly the initial broadcasts: 10 nodes × 9 neighbors
+	if met.Messages != 90 {
+		t.Fatalf("messages=%d, want 90", met.Messages)
+	}
+}
+
+func TestAsyncEventBudgetRespected(t *testing.T) {
+	g := graph.BarabasiAlbert(100, 3, 6)
+	_, met := RunAsyncElimination(g, dist.DelayModel{Base: 1, Jitter: 1, Seed: 7}, 50)
+	if met.Events > 50 {
+		t.Fatalf("events=%d exceeded budget", met.Events)
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"distkcore/internal/dist"
+	"distkcore/internal/graph"
+	"distkcore/internal/quantize"
+)
+
+// eliminationProgram is the per-node dist.Program realizing Algorithm 2.
+// Protocol: in its Init a node broadcasts its initial surviving number +∞;
+// in round t it feeds the values received from its neighbors to Update,
+// rounds the result down to Λ, and broadcasts the new value — except in the
+// final round, where it halts instead (the last broadcast would never be
+// read).
+type eliminationProgram struct {
+	id       graph.NodeID
+	T        int
+	lam      quantize.Lambda
+	trackAux bool
+
+	upd  *Updater
+	b    float64
+	nbrB map[graph.NodeID]float64 // latest value per neighbor
+	sink *DistResult
+}
+
+// DistResult collects the outputs of a distributed elimination run.
+// Fields are written once per node (at halt time), guarded by mu so the
+// parallel engine can be used.
+type DistResult struct {
+	mu       sync.Mutex
+	B        []float64
+	AuxEdges [][]int
+}
+
+// RunDistributed executes Algorithm 2 as a message-passing protocol on the
+// given engine for T = opt.Rounds rounds (opt.Rounds must be > 0;
+// convergence mode is only available in the centralized Run). It returns
+// the surviving numbers, the auxiliary edge sets (if opt.TrackAux), and the
+// engine's communication metrics.
+func RunDistributed(g *graph.Graph, opt Options, eng dist.Engine) (*Result, dist.Metrics) {
+	if opt.Rounds <= 0 {
+		panic("core: RunDistributed requires Rounds > 0")
+	}
+	lam := opt.Lambda
+	if lam == nil {
+		lam = quantize.Reals{}
+	}
+	if opt.TrackAux && !lam.Exact() {
+		panic("core: TrackAux requires the exact threshold set Λ = ℝ (Lemma III.11)")
+	}
+	sink := &DistResult{B: make([]float64, g.N())}
+	if opt.TrackAux {
+		sink.AuxEdges = make([][]int, g.N())
+	}
+	factory := func(v graph.NodeID) dist.Program {
+		return &eliminationProgram{
+			id:       v,
+			T:        opt.Rounds,
+			lam:      lam,
+			trackAux: opt.TrackAux,
+			sink:     sink,
+		}
+	}
+	met := eng.Run(g, factory, opt.Rounds)
+	res := &Result{B: sink.B, AuxEdges: sink.AuxEdges, Rounds: met.Rounds}
+	return res, met
+}
+
+func (p *eliminationProgram) Init(c *dist.Ctx) {
+	p.upd = NewUpdater(c.Neighbors())
+	p.b = math.Inf(1)
+	p.nbrB = make(map[graph.NodeID]float64, len(c.Neighbors()))
+	for _, a := range c.Neighbors() {
+		p.nbrB[a.To] = math.Inf(1)
+	}
+	if len(c.Neighbors()) == 0 {
+		// Isolated node: β_t = 0 for all t ≥ 1; nothing to say or hear.
+		p.b = 0
+		p.finish(c)
+		return
+	}
+	c.Broadcast(dist.Message{F0: p.b})
+}
+
+func (p *eliminationProgram) Round(c *dist.Ctx, inbox []dist.Message) {
+	for _, m := range inbox {
+		p.nbrB[m.From] = m.F0
+	}
+	arcs := c.Neighbors()
+	nb, auxArcs := p.upd.Step(func(i int) float64 {
+		to := arcs[i].To
+		if to == p.id {
+			return p.b // self-loop sees the node's own value
+		}
+		return p.nbrB[to]
+	})
+	p.b = p.lam.RoundDown(nb)
+	if c.Round() >= p.T {
+		if p.trackAux {
+			edges := make([]int, len(auxArcs))
+			for k, ai := range auxArcs {
+				edges[k] = arcs[ai].EdgeID
+			}
+			p.sink.mu.Lock()
+			p.sink.AuxEdges[p.id] = edges
+			p.sink.mu.Unlock()
+		}
+		p.finish(c)
+		return
+	}
+	c.Broadcast(dist.Message{F0: p.b})
+}
+
+func (p *eliminationProgram) finish(c *dist.Ctx) {
+	p.sink.mu.Lock()
+	p.sink.B[p.id] = p.b
+	p.sink.mu.Unlock()
+	c.Halt()
+}
+
+// CheckInvariants verifies the two invariants of Definition III.7 for a
+// state (B, AuxEdges) produced with Λ = ℝ:
+//
+//  1. for each node v, Σ_{e ∈ N_v} w_e ≤ b_v (up to floating-point slack);
+//  2. for each edge {u,v}, e ∈ N_u or e ∈ N_v.
+//
+// It returns the first violation found, or ok = true.
+func CheckInvariants(g *graph.Graph, B []float64, auxEdges [][]int) (ok bool, detail string) {
+	const slack = 1e-9
+	covered := make([]bool, g.M())
+	for v := 0; v < g.N(); v++ {
+		sum := 0.0
+		for _, eid := range auxEdges[v] {
+			sum += g.Edges()[eid].W
+			covered[eid] = true
+		}
+		if sum > B[v]*(1+slack)+slack {
+			return false, invariantDetail1(v, sum, B[v])
+		}
+	}
+	for eid, c := range covered {
+		if !c {
+			e := g.Edges()[eid]
+			return false, invariantDetail2(eid, e.U, e.V)
+		}
+	}
+	return true, ""
+}
+
+func invariantDetail1(v int, sum, b float64) string {
+	return fmt.Sprintf("invariant 1 violated at node %d: Σw(N_v)=%g > b_v=%g", v, sum, b)
+}
+
+func invariantDetail2(eid, u, v int) string {
+	return fmt.Sprintf("invariant 2 violated: edge %d {%d,%d} unassigned", eid, u, v)
+}

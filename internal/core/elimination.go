@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+
+	"distkcore/internal/graph"
+	"distkcore/internal/quantize"
+)
+
+// SingleThreshold runs Algorithm 1 — the elimination procedure for one
+// threshold b — for T rounds on g and returns the per-node survival states
+// σ_v. In every round, each node whose weighted degree among surviving
+// nodes is < b is removed (at the end of the round, i.e. removals within a
+// round are simultaneous).
+func SingleThreshold(g *graph.Graph, b float64, T int) []bool {
+	alive := make([]bool, g.N())
+	for v := range alive {
+		alive[v] = true
+	}
+	deg := make([]float64, g.N())
+	for v := 0; v < g.N(); v++ {
+		deg[v] = g.WeightedDegree(v)
+	}
+	dead := make([]graph.NodeID, 0, g.N())
+	for t := 0; t < T; t++ {
+		dead = dead[:0]
+		for v := 0; v < g.N(); v++ {
+			if alive[v] && deg[v] < b {
+				dead = append(dead, v)
+			}
+		}
+		if len(dead) == 0 {
+			break
+		}
+		for _, v := range dead {
+			alive[v] = false
+		}
+		for _, v := range dead {
+			for _, a := range g.Adj(v) {
+				if a.To == v {
+					continue // self-loop weight disappears with v itself
+				}
+				if alive[a.To] {
+					deg[a.To] -= a.W
+				}
+			}
+		}
+	}
+	return alive
+}
+
+// SurvivingNumberAt reports β_T(v) for a single node by definition
+// (Definition III.1): the maximum b such that v survives T rounds of
+// SingleThreshold with threshold b. It is computed by binary search over
+// the candidate values {degrees seen} — O(T·m·log n); used by tests as an
+// independent oracle against the compact procedure.
+func SurvivingNumberAt(g *graph.Graph, v graph.NodeID, T int) float64 {
+	// Candidate thresholds: β is always one of the "vertex-induced" sums or
+	// a degree value; searching over all induced-degree values observed is
+	// sufficient because survival is monotone in b. We binary search on the
+	// sorted set of all partial degree values encountered during a sweep —
+	// conservatively, all values of the form deg are bounded by max degree;
+	// instead of enumerating, binary search on reals to a tight tolerance
+	// and then snap: survival is a step function of b with finitely many
+	// breakpoints, so we locate the step containing v's threshold.
+	lo, hi := 0.0, g.WeightedDegree(v)
+	if hi == 0 {
+		return 0
+	}
+	survives := func(b float64) bool { return SingleThreshold(g, b, T)[v] }
+	if survives(hi) {
+		return hi
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if survives(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Options configures the compact elimination procedure (Algorithm 2).
+type Options struct {
+	// Rounds is T. If 0, the procedure runs until a fixed point: this is
+	// the exact distributed k-core algorithm of Montresor et al., and the
+	// result equals the coreness of every node.
+	Rounds int
+	// Lambda is the threshold set Λ used to round transmitted values down
+	// (Section III-C). nil means Λ = ℝ (exact).
+	Lambda quantize.Lambda
+	// TrackAux maintains the auxiliary orientation subsets N_v
+	// (Theorem I.2). Requires Λ = ℝ; Run panics otherwise, mirroring the
+	// paper's "for technical reasons ... Λ = ℝ".
+	TrackAux bool
+	// RecordHistory stores β_t(v) after every round t = 1..Rounds.
+	RecordHistory bool
+}
+
+// Result is the outcome of the compact elimination procedure.
+type Result struct {
+	// B[v] = β_T(v), rounded down to Λ.
+	B []float64
+	// AuxEdges[v] lists the IDs of the incident edges currently assigned to
+	// v (the set N_v); nil unless Options.TrackAux.
+	AuxEdges [][]int
+	// History[t-1][v] = β_t(v) for t = 1..Rounds; nil unless
+	// Options.RecordHistory.
+	History [][]float64
+	// Rounds is the number of rounds actually executed (== Options.Rounds,
+	// or the convergence round count when Options.Rounds == 0).
+	Rounds int
+	// Converged reports whether a fixed point was reached.
+	Converged bool
+}
+
+// Run executes Algorithm 2 on g with a centralized, perfectly synchronous
+// simulation (the reference semantics; RunDistributed executes the same
+// protocol on a dist.Engine and the test suite checks they agree).
+func Run(g *graph.Graph, opt Options) *Result {
+	lam := opt.Lambda
+	if lam == nil {
+		lam = quantize.Reals{}
+	}
+	if opt.TrackAux && !lam.Exact() {
+		panic("core: TrackAux requires the exact threshold set Λ = ℝ (Lemma III.11)")
+	}
+	n := g.N()
+	res := &Result{B: make([]float64, n)}
+	cur := res.B
+	for v := range cur {
+		cur[v] = math.Inf(1)
+	}
+	prev := make([]float64, n)
+
+	maxRounds := opt.Rounds
+	toConvergence := maxRounds == 0
+	if toConvergence {
+		maxRounds = n + 1 // β_n(v) = c(v); one extra round detects the fixed point
+	}
+
+	var updaters []*Updater
+	if opt.TrackAux {
+		updaters = make([]*Updater, n)
+		for v := 0; v < n; v++ {
+			updaters[v] = NewUpdater(g.Adj(v))
+		}
+		res.AuxEdges = make([][]int, n)
+	}
+
+	// Scratch for the allocation-light path.
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	bs := make([]float64, 0, maxDeg)
+	ws := make([]float64, 0, maxDeg)
+	scratch := make([]int, 0, maxDeg)
+
+	for t := 1; t <= maxRounds; t++ {
+		copy(prev, cur)
+		changed := false
+		for v := 0; v < n; v++ {
+			var nb float64
+			if opt.TrackAux {
+				var auxArcs []int
+				nb, auxArcs = updaters[v].Step(func(i int) float64 {
+					return prev[g.Adj(v)[i].To]
+				})
+				edges := make([]int, len(auxArcs))
+				for k, ai := range auxArcs {
+					edges[k] = g.Adj(v)[ai].EdgeID
+				}
+				res.AuxEdges[v] = edges
+			} else {
+				bs = bs[:0]
+				ws = ws[:0]
+				for _, a := range g.Adj(v) {
+					bs = append(bs, prev[a.To])
+					ws = append(ws, a.W)
+				}
+				nb = UpdateValue(bs, ws, scratch)
+			}
+			nb = lam.RoundDown(nb)
+			if nb != prev[v] {
+				changed = true
+			}
+			cur[v] = nb
+		}
+		res.Rounds = t
+		if opt.RecordHistory {
+			snap := make([]float64, n)
+			copy(snap, cur)
+			res.History = append(res.History, snap)
+		}
+		if !changed {
+			res.Converged = true
+			if toConvergence {
+				res.Rounds = t - 1 // the fixed point was already reached last round
+			}
+			break
+		}
+	}
+	if opt.RecordHistory && !toConvergence {
+		// A fixed point reached before T only freezes the values; expose a
+		// full-length history so History[t-1] is valid for all t ≤ Rounds.
+		for len(res.History) < opt.Rounds {
+			snap := make([]float64, n)
+			copy(snap, cur)
+			res.History = append(res.History, snap)
+		}
+		res.Rounds = opt.Rounds
+	}
+	return res
+}
+
+// ExactCoreness runs the procedure to convergence and returns the coreness
+// of every node (the Montresor et al. exact distributed algorithm) together
+// with the number of rounds it needed. The returned rounds count is the
+// quantity experiment E7 compares against the fixed T of Theorem I.1.
+func ExactCoreness(g *graph.Graph) (c []float64, rounds int) {
+	res := Run(g, Options{Rounds: 0})
+	return res.B, res.Rounds
+}

@@ -1,0 +1,174 @@
+// Package core implements the paper's primary contribution: the compact
+// elimination procedure (Algorithm 2) with the Update subroutine
+// (Algorithm 3), which after T rounds leaves every node v with a surviving
+// number β_T(v) satisfying
+//
+//	r(v) ≤ c(v) ≤ β_T(v) ≤ 2·n^{1/T}·r(v)
+//
+// (Theorem I.1), where c is the weighted coreness and r the maximal density
+// of the diminishingly-dense decomposition. Run for T = ⌈log_{1+ε} n⌉
+// rounds this is a 2(1+ε)-approximation of both quantities, with round
+// complexity independent of the graph diameter.
+//
+// With the exact threshold set Λ = ℝ the procedure additionally maintains,
+// per node, an auxiliary subset N_v of incident edges such that {N_v} is a
+// feasible γ-approximate solution of the min-max edge orientation problem
+// (Theorem I.2, Lemma III.11).
+package core
+
+import (
+	"math"
+	"sort"
+
+	"distkcore/internal/graph"
+)
+
+// Updater holds the per-node state required by Algorithm 3: the incident
+// arcs and the maintained tie-breaking order. The paper resolves sorting
+// ties by the lexicographic order of all past surviving numbers (recent
+// first, then node identity); as it notes, this is equivalent to keeping the
+// neighbor ordering from the previous round and stable-sorting by the
+// current values, which is what Updater does.
+type Updater struct {
+	arcs  []graph.Arc
+	order []int // arc indices, maintained across rounds
+	vals  []float64
+}
+
+// NewUpdater creates the Update state for a node with the given incident
+// arcs. The initial order is by (neighbor ID, arc index), realizing the
+// paper's "any remaining tie is resolved consistently using the node
+// identity".
+func NewUpdater(arcs []graph.Arc) *Updater {
+	u := &Updater{arcs: arcs, order: make([]int, len(arcs)), vals: make([]float64, len(arcs))}
+	for i := range u.order {
+		u.order[i] = i
+	}
+	sort.SliceStable(u.order, func(a, b int) bool {
+		ia, ib := u.order[a], u.order[b]
+		if u.arcs[ia].To != u.arcs[ib].To {
+			return u.arcs[ia].To < u.arcs[ib].To
+		}
+		return ia < ib
+	})
+	return u
+}
+
+// Degree returns the node's weighted degree Σ w(e).
+func (u *Updater) Degree() float64 {
+	d := 0.0
+	for _, a := range u.arcs {
+		d += a.W
+	}
+	return d
+}
+
+// Step performs one invocation of Algorithm 3. bOf(i) must return the
+// current surviving number of the neighbor at arc index i (for a self-loop,
+// the node's own value). It returns the new surviving number
+//
+//	b = max { x ∈ ℝ : Σ_{i : b_i ≥ x} w_i ≥ x }
+//
+// and the auxiliary subset N as arc indices (the incident edges whose other
+// endpoint has a strictly "higher" surviving number under the maintained
+// order, plus the pivot when the vertex-induced case applies). The
+// maintained order is updated as a side effect.
+func (u *Updater) Step(bOf func(arcIdx int) float64) (b float64, aux []int) {
+	d := len(u.order)
+	if d == 0 {
+		return 0, nil
+	}
+	for _, i := range u.order {
+		u.vals[i] = bOf(i)
+	}
+	// Stable sort by current value ascending; stability implements the
+	// paper's historical-lexicographic tie-breaking.
+	sort.SliceStable(u.order, func(a, b int) bool {
+		return u.vals[u.order[a]] < u.vals[u.order[b]]
+	})
+	s := 0.0
+	for i := d - 1; i >= 0; i-- {
+		s += u.arcs[u.order[i]].W
+		prev := math.Inf(-1)
+		if i > 0 {
+			prev = u.vals[u.order[i-1]]
+		}
+		if s > prev {
+			bi := u.vals[u.order[i]]
+			if s <= bi {
+				// Vertex-induced case: the node's own mass is the binding
+				// constraint; the pivot edge joins N as well.
+				return s, append([]int(nil), u.order[i:]...)
+			}
+			return bi, append([]int(nil), u.order[i+1:]...)
+		}
+	}
+	// Unreachable: at i == 0 the guard s > -∞ always fires.
+	return 0, nil
+}
+
+// UpdateValue runs Algorithm 3 without maintaining any order or auxiliary
+// set: it returns only the new surviving number for a node whose incident
+// edges have weights w and whose neighbors currently hold values bs.
+// This is the allocation-light path used by the centralized simulator when
+// auxiliary sets are not requested.
+func UpdateValue(bs, w []float64, scratch []int) float64 {
+	d := len(bs)
+	if d == 0 {
+		return 0
+	}
+	idx := scratch[:0]
+	for i := 0; i < d; i++ {
+		idx = append(idx, i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return bs[idx[a]] < bs[idx[b]] })
+	s := 0.0
+	for i := d - 1; i >= 0; i-- {
+		s += w[idx[i]]
+		prev := math.Inf(-1)
+		if i > 0 {
+			prev = bs[idx[i-1]]
+		}
+		if s > prev {
+			if bi := bs[idx[i]]; s > bi {
+				return bi
+			}
+			return s
+		}
+	}
+	return 0
+}
+
+// TForGamma returns the round count T = ⌈log n / log(γ/2)⌉ sufficient for a
+// γ-approximation (γ > 2) per Lemma III.3, clamped to at least 1.
+func TForGamma(n int, gamma float64) int {
+	if gamma <= 2 {
+		panic("core: TForGamma requires gamma > 2")
+	}
+	if n < 2 {
+		return 1
+	}
+	t := int(math.Ceil(math.Log(float64(n)) / math.Log(gamma/2)))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// TForEpsilon returns T = ⌈log_{1+ε} n⌉, the round count for a
+// 2(1+ε)-approximation (Theorem I.1).
+func TForEpsilon(n int, eps float64) int {
+	if eps <= 0 {
+		panic("core: TForEpsilon requires eps > 0")
+	}
+	return TForGamma(n, 2*(1+eps))
+}
+
+// GuaranteeAtT returns the proven approximation factor 2·n^{1/T} after T
+// rounds (Theorem I.1/I.2).
+func GuaranteeAtT(n, t int) float64 {
+	if t < 1 || n < 1 {
+		return math.Inf(1)
+	}
+	return 2 * math.Pow(float64(n), 1/float64(t))
+}

@@ -1,0 +1,129 @@
+package densest
+
+import (
+	"math"
+	"testing"
+
+	"distkcore/internal/dist"
+	"distkcore/internal/exact"
+	"distkcore/internal/graph"
+)
+
+func subsetByLeader(r *Result) map[graph.NodeID]Subset {
+	m := make(map[graph.NodeID]Subset, len(r.Subsets))
+	for _, s := range r.Subsets {
+		m[s.Leader] = s
+	}
+	return m
+}
+
+func assertSameResult(t *testing.T, name string, want, got *Result) {
+	t.Helper()
+	if len(want.Subsets) != len(got.Subsets) {
+		t.Fatalf("%s: %d subsets centralized vs %d distributed",
+			name, len(want.Subsets), len(got.Subsets))
+	}
+	wm, gm := subsetByLeader(want), subsetByLeader(got)
+	for leader, ws := range wm {
+		gs, ok := gm[leader]
+		if !ok {
+			t.Fatalf("%s: leader %d missing in distributed run", name, leader)
+		}
+		if len(ws.Members) != len(gs.Members) {
+			t.Fatalf("%s leader %d: members %v vs %v", name, leader, ws.Members, gs.Members)
+		}
+		for i := range ws.Members {
+			if ws.Members[i] != gs.Members[i] {
+				t.Fatalf("%s leader %d: members differ at %d: %v vs %v",
+					name, leader, i, ws.Members, gs.Members)
+			}
+		}
+		if math.Abs(ws.Density-gs.Density) > 1e-9 {
+			t.Fatalf("%s leader %d: density %v vs %v", name, leader, ws.Density, gs.Density)
+		}
+		if ws.TStar != gs.TStar {
+			t.Fatalf("%s leader %d: t* %d vs %d", name, leader, ws.TStar, gs.TStar)
+		}
+	}
+	for v := range want.B {
+		if math.Abs(want.B[v]-got.B[v]) > 1e-9 {
+			t.Fatalf("%s: β(%d) %v vs %v", name, v, want.B[v], got.B[v])
+		}
+		if want.LeaderOf[v] != got.LeaderOf[v] {
+			t.Fatalf("%s: leader(%d) %d vs %d", name, v, want.LeaderOf[v], got.LeaderOf[v])
+		}
+		if want.InSubset[v] != got.InSubset[v] {
+			t.Fatalf("%s: inSubset(%d) %v vs %v", name, v, want.InSubset[v], got.InSubset[v])
+		}
+	}
+}
+
+func TestDistributedMatchesCentralized(t *testing.T) {
+	for name, g := range workloads() {
+		cfg := Config{Gamma: 3}
+		want := Weak(g, cfg)
+		got, met := RunWeakDistributed(g, cfg, dist.SeqEngine{})
+		assertSameResult(t, name, want, got)
+		if met.Messages == 0 {
+			t.Fatalf("%s: no messages exchanged", name)
+		}
+	}
+}
+
+func TestDistributedParEngineMatches(t *testing.T) {
+	g := graph.PlantedPartition(3, 12, 0.5, 0.02, 5)
+	cfg := Config{Gamma: 3}
+	want := Weak(g, cfg)
+	got, _ := RunWeakDistributed(g, cfg, dist.ParEngine{})
+	assertSameResult(t, "planted-par", want, got)
+}
+
+func TestDistributedGuarantee(t *testing.T) {
+	for name, g := range workloads() {
+		rho := exact.MaxDensity(g)
+		res, _ := RunWeakDistributed(g, Config{Gamma: 3}, dist.SeqEngine{})
+		if !GuaranteeHolds(res, 3, rho) {
+			t.Fatalf("%s: distributed run misses the Theorem I.3 guarantee", name)
+		}
+	}
+}
+
+func TestDistributedIsolatedNodes(t *testing.T) {
+	// Two isolated nodes plus an edge: every node must terminate and report.
+	b := graph.NewBuilder(4)
+	b.AddUnitEdge(0, 1)
+	g := b.Build()
+	res, met := RunWeakDistributed(g, Config{Gamma: 3}, dist.SeqEngine{})
+	if !met.Halted {
+		t.Fatal("protocol did not terminate before the round budget")
+	}
+	for v := 0; v < 4; v++ {
+		if res.LeaderOf[v] < 0 {
+			t.Fatalf("node %d has no leader", v)
+		}
+	}
+	// the edge {0,1} forms a density-1/2 subset under its leader
+	best := res.Best()
+	if best == nil || best.Density < 0.5-1e-9 {
+		t.Fatalf("best subset %+v, want density 0.5", best)
+	}
+}
+
+func TestDistributedHonorsRoundsOverride(t *testing.T) {
+	g := graph.Cycle(20)
+	res, met := RunWeakDistributed(g, Config{Gamma: 3, Rounds: 3}, dist.SeqEngine{})
+	if res.T != 3 {
+		t.Fatalf("T=%d", res.T)
+	}
+	if met.Rounds > 6*3+10 {
+		t.Fatalf("used %d rounds", met.Rounds)
+	}
+}
+
+func TestDistributedLiteralAcceptance(t *testing.T) {
+	g := graph.BarabasiAlbert(60, 3, 4)
+	cfg := Config{Gamma: 3, LiteralAcceptance: true}
+	want := Weak(g, cfg)
+	got, _ := RunWeakDistributed(g, cfg, dist.SeqEngine{})
+	assertSameResult(t, "literal", want, got)
+}

@@ -1,0 +1,109 @@
+package densest
+
+import (
+	"testing"
+
+	"distkcore/internal/dist"
+	"distkcore/internal/exact"
+	"distkcore/internal/graph"
+)
+
+func TestWeakOnDisconnectedGraph(t *testing.T) {
+	// Two components of very different density plus isolated nodes: the
+	// guarantee must still hold (the dense component is far from the
+	// sparse one, which is exactly the diameter-independence selling
+	// point).
+	b := graph.NewBuilder(20)
+	// K6 on 0..5
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			b.AddUnitEdge(u, v)
+		}
+	}
+	// path on 6..14
+	for v := 6; v < 14; v++ {
+		b.AddUnitEdge(v, v+1)
+	}
+	// 15..19 isolated
+	g := b.Build()
+	rho := exact.MaxDensity(g)
+	for _, gamma := range []float64{2.5, 4} {
+		res := Weak(g, Config{Gamma: gamma})
+		if !GuaranteeHolds(res, gamma, rho) {
+			t.Fatalf("γ=%v: guarantee failed on disconnected graph", gamma)
+		}
+		// the K6 must appear as (part of) the best subset
+		best := res.Best()
+		inClique := 0
+		for _, v := range best.Members {
+			if v < 6 {
+				inClique++
+			}
+		}
+		if inClique < 5 {
+			t.Fatalf("γ=%v: best subset misses the clique: %v", gamma, best.Members)
+		}
+	}
+	// distributed variant agrees
+	want := Weak(g, Config{Gamma: 3})
+	got, _ := RunWeakDistributed(g, Config{Gamma: 3}, dist.SeqEngine{})
+	assertSameResult(t, "disconnected", want, got)
+}
+
+func TestWeakOnEdgelessGraph(t *testing.T) {
+	g := graph.NewBuilder(5).Build()
+	res := Weak(g, Config{Gamma: 3})
+	// every node is its own leader with b = 0; singleton subsets of density
+	// zero are acceptable — what matters is termination and consistency.
+	for v := 0; v < 5; v++ {
+		if res.LeaderOf[v] != v {
+			t.Fatalf("node %d elected %d", v, res.LeaderOf[v])
+		}
+	}
+	if !GuaranteeHolds(res, 3, 0) {
+		t.Fatal("zero-density guarantee must hold trivially")
+	}
+}
+
+func TestWeakSingleEdge(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1, 4)
+	g := b.Build()
+	res := Weak(g, Config{Gamma: 2.5})
+	best := res.Best()
+	if best == nil {
+		t.Fatal("no subset on a single edge")
+	}
+	if best.Density < 2-1e-9 { // 4/2
+		t.Fatalf("density %v, want 2", best.Density)
+	}
+	if len(best.Members) != 2 {
+		t.Fatalf("members %v", best.Members)
+	}
+}
+
+func TestWeakHighDiameterDenseFar(t *testing.T) {
+	// A clique at the far end of a long path: with T ≪ diameter the
+	// path nodes cannot know about the clique, yet SOME subset (the
+	// clique's own tree) must certify a good density — Definition IV.1's
+	// whole point.
+	b := graph.NewBuilder(110)
+	for v := 0; v < 99; v++ {
+		b.AddUnitEdge(v, v+1)
+	}
+	for u := 100; u < 110; u++ {
+		for v := u + 1; v < 110; v++ {
+			b.AddUnitEdge(u, v)
+		}
+	}
+	b.AddUnitEdge(99, 100)
+	g := b.Build()
+	rho := exact.MaxDensity(g) // 4.5 (the K10)
+	res := Weak(g, Config{Gamma: 3})
+	if !GuaranteeHolds(res, 3, rho) {
+		t.Fatalf("guarantee failed: ρ*=%v best=%+v T=%d", rho, res.Best(), res.T)
+	}
+	if res.T >= 100 {
+		t.Fatalf("T=%d not diameter-independent", res.T)
+	}
+}

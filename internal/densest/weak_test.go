@@ -1,0 +1,175 @@
+package densest
+
+import (
+	"math"
+	"testing"
+
+	"distkcore/internal/exact"
+	"distkcore/internal/graph"
+)
+
+func workloads() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"er":      graph.ErdosRenyi(80, 0.1, 1),
+		"ba":      graph.BarabasiAlbert(80, 3, 2),
+		"planted": graph.PlantedPartition(4, 15, 0.5, 0.01, 3),
+		"caveman": graph.Caveman(5, 6),
+		"grid":    graph.Grid(7, 7),
+		"cycle":   graph.Cycle(40),
+		"clique":  graph.Clique(15),
+	}
+}
+
+func TestWeakGuarantee(t *testing.T) {
+	// Theorem I.3: some returned subset has density ≥ ρ*/γ.
+	for name, g := range workloads() {
+		rho := exact.MaxDensity(g)
+		for _, gamma := range []float64{2.5, 3, 4} {
+			res := Weak(g, Config{Gamma: gamma})
+			if !GuaranteeHolds(res, gamma, rho) {
+				best := -1.0
+				if b := res.Best(); b != nil {
+					best = b.Density
+				}
+				t.Fatalf("%s γ=%v: best density %v < ρ*/γ = %v/%v",
+					name, gamma, best, rho, gamma)
+			}
+		}
+	}
+}
+
+func TestWeakSubsetsAreDisjointAndConsistent(t *testing.T) {
+	for name, g := range workloads() {
+		res := Weak(g, Config{Gamma: 3})
+		seen := make(map[graph.NodeID]int)
+		for si, s := range res.Subsets {
+			if len(s.Members) == 0 {
+				t.Fatalf("%s: empty subset accepted", name)
+			}
+			for _, v := range s.Members {
+				if prev, dup := seen[v]; dup {
+					t.Fatalf("%s: node %d in subsets %d and %d", name, v, prev, si)
+				}
+				seen[v] = si
+				if !res.InSubset[v] {
+					t.Fatalf("%s: member %d not flagged InSubset", name, v)
+				}
+				// every member must have elected the subset's leader
+				if res.LeaderOf[v] != s.Leader {
+					t.Fatalf("%s: node %d has leader %d but is in subset of %d",
+						name, v, res.LeaderOf[v], s.Leader)
+				}
+			}
+			// the leader's b must be its own surviving number
+			if s.LeaderB != res.B[s.Leader] {
+				t.Fatalf("%s: leader b mismatch", name)
+			}
+			if s.TStar < 0 || s.TStar >= res.T {
+				t.Fatalf("%s: t* = %d out of range [0,%d)", name, s.TStar, res.T)
+			}
+		}
+		for v, in := range res.InSubset {
+			if in {
+				if _, ok := seen[v]; !ok {
+					t.Fatalf("%s: node %d flagged but in no subset", name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestWeakSubsetsSortedByDensity(t *testing.T) {
+	g := graph.PlantedPartition(4, 15, 0.5, 0.01, 5)
+	res := Weak(g, Config{Gamma: 3})
+	for i := 1; i < len(res.Subsets); i++ {
+		if res.Subsets[i].Density > res.Subsets[i-1].Density+1e-12 {
+			t.Fatal("subsets not sorted by decreasing density")
+		}
+	}
+}
+
+func TestWeakLeaderElectionRespectsOrder(t *testing.T) {
+	// The node with the globally maximal (b, id) must end up a root and its
+	// own leader.
+	g := graph.BarabasiAlbert(60, 3, 9)
+	res := Weak(g, Config{Gamma: 3})
+	best := 0
+	for v := 1; v < g.N(); v++ {
+		if res.B[v] > res.B[best] || (res.B[v] == res.B[best] && v > best) {
+			best = v
+		}
+	}
+	if res.LeaderOf[best] != best {
+		t.Fatalf("global max node %d elected %d", best, res.LeaderOf[best])
+	}
+}
+
+func TestWeakOnCliqueFindsTheClique(t *testing.T) {
+	g := graph.Clique(12) // ρ* = 5.5, and the clique is it
+	res := Weak(g, Config{Gamma: 2.5})
+	best := res.Best()
+	if best == nil {
+		t.Fatal("no subset returned on a clique")
+	}
+	if best.Density < 5.5/2.5-1e-9 {
+		t.Fatalf("clique: best density %v", best.Density)
+	}
+}
+
+func TestWeakDensityFieldsAreExact(t *testing.T) {
+	g := graph.PlantedPartition(3, 12, 0.6, 0.02, 11)
+	res := Weak(g, Config{Gamma: 3})
+	for _, s := range res.Subsets {
+		mask := make([]bool, g.N())
+		for _, v := range s.Members {
+			mask[v] = true
+		}
+		w, k := g.SubsetEdgeWeight(mask)
+		want := 0.0
+		if k > 0 {
+			want = w / float64(k)
+		}
+		if math.Abs(s.Density-want) > 1e-9 {
+			t.Fatalf("recorded density %v, recomputed %v", s.Density, want)
+		}
+	}
+}
+
+func TestWeakRoundsOverride(t *testing.T) {
+	g := graph.Cycle(30)
+	res := Weak(g, Config{Gamma: 3, Rounds: 4})
+	if res.T != 4 {
+		t.Fatalf("T=%d, want 4", res.T)
+	}
+	if res.TotalRounds != 4+(4+2)+4+12 {
+		t.Fatalf("TotalRounds=%d", res.TotalRounds)
+	}
+}
+
+func TestWeakLiteralAcceptanceIsStricter(t *testing.T) {
+	g := graph.BarabasiAlbert(80, 3, 13)
+	loose := Weak(g, Config{Gamma: 3})
+	strict := Weak(g, Config{Gamma: 3, LiteralAcceptance: true})
+	if len(strict.Subsets) > len(loose.Subsets) {
+		t.Fatalf("literal acceptance produced more subsets (%d) than the corrected test (%d)",
+			len(strict.Subsets), len(loose.Subsets))
+	}
+}
+
+func TestWeakGammaValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gamma ≤ 2 must panic")
+		}
+	}()
+	Weak(graph.Cycle(5), Config{Gamma: 2})
+}
+
+func TestWeakWeightedGraph(t *testing.T) {
+	g := graph.Apply(graph.PlantedPartition(3, 12, 0.6, 0.02, 15), graph.UniformWeights{Lo: 1, Hi: 5}, 16)
+	rho := exact.MaxDensity(g)
+	res := Weak(g, Config{Gamma: 3})
+	if !GuaranteeHolds(res, 3, rho) {
+		t.Fatalf("weighted guarantee failed: ρ*=%v best=%+v", rho, res.Best())
+	}
+}

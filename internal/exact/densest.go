@@ -1,0 +1,280 @@
+package exact
+
+import (
+	"math"
+
+	"distkcore/internal/graph"
+)
+
+// DensestResult is the outcome of the exact densest-subset computation.
+type DensestResult struct {
+	// Member marks the maximal densest subset (Fact II.1: it is unique and
+	// contains every densest subset).
+	Member []bool
+	// Rho is its density ρ* = w(E(S))/|S|.
+	Rho float64
+	// Size is |S|.
+	Size int
+}
+
+// MaxDensity returns ρ*, the maximum subset density of g (0 for edgeless
+// graphs). Shorthand for Densest(g).Rho.
+func MaxDensity(g *graph.Graph) float64 { return Densest(g).Rho }
+
+// Densest computes the maximal densest subset of g exactly, via Goldberg's
+// flow construction in its "edge node" form, which handles self-loops (as
+// produced by quotient graphs) naturally:
+//
+//	source s → one node per edge e   with capacity w(e)
+//	edge e   → each endpoint of e    with capacity ∞
+//	vertex v → sink t                with capacity ρ (the current guess)
+//
+// A subset S with w(E(S)) > ρ·|S| exists iff maxflow < w(E). The guess is
+// binary-searched; for integer edge weights two distinct subset densities
+// differ by at least 1/(n(n-1)), so the search is run until the interval is
+// below that resolution (or 60 halvings for non-integer weights), after
+// which the *maximal* min-cut source side at the feasible end of the
+// interval is exactly the maximal densest subset.
+func Densest(g *graph.Graph) DensestResult {
+	n := g.N()
+	m := g.M()
+	if n == 0 {
+		return DensestResult{Member: nil, Rho: 0, Size: 0}
+	}
+	if m == 0 {
+		member := make([]bool, n)
+		member[0] = true
+		return DensestResult{Member: member, Rho: 0, Size: 1}
+	}
+	W := g.TotalWeight()
+	lo, hi := 0.0, g.MaxWeightedDegree()+1
+
+	// Resolution for exact termination.
+	eps := 1.0 / (float64(n)*float64(n) + 1)
+	if !integerWeights(g) {
+		eps = math.Max(1e-11, W*1e-13)
+	}
+
+	feasible := func(rho float64) bool {
+		// is there S with density strictly greater than rho?
+		d, _, _ := buildDensestNetwork(g, rho)
+		flow := d.MaxFlow(0, 1)
+		return flow < W-1e-9*math.Max(1, W)
+	}
+
+	// ρ(V) > 0 is always achievable, so start from it.
+	if g.Density() > lo {
+		lo = g.Density() - eps/2
+	}
+	for hi-lo > eps {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	// Extract the maximal subset with w(E(S)) − lo·|S| maximal.
+	d, _, vertexNode := buildDensestNetwork(g, lo)
+	d.MaxFlow(0, 1)
+	side := d.MaxCutSourceSide(1)
+	member := make([]bool, n)
+	size := 0
+	for v := 0; v < n; v++ {
+		if side[vertexNode(v)] {
+			member[v] = true
+			size++
+		}
+	}
+	if size == 0 {
+		// Degenerate fallback (should not happen: lo is feasible): densest
+		// single edge.
+		best := 0
+		for i, e := range g.Edges() {
+			if e.W > g.Edges()[best].W {
+				best = i
+			}
+		}
+		e := g.Edges()[best]
+		member[e.U] = true
+		member[e.V] = true
+		size = 2
+		if e.IsLoop() {
+			size = 1
+		}
+	}
+	w, k := g.SubsetEdgeWeight(member)
+	return DensestResult{Member: member, Rho: w / float64(k), Size: size}
+}
+
+func integerWeights(g *graph.Graph) bool {
+	for _, e := range g.Edges() {
+		if e.W != math.Trunc(e.W) {
+			return false
+		}
+	}
+	return true
+}
+
+// buildDensestNetwork constructs the flow network for guess rho.
+// Node layout: 0 = s, 1 = t, 2..2+m-1 = edge nodes, 2+m.. = vertex nodes.
+func buildDensestNetwork(g *graph.Graph, rho float64) (*Dinic, func(e int) int, func(v int) int) {
+	n, m := g.N(), g.M()
+	d := NewDinic(2 + m + n)
+	edgeNode := func(e int) int { return 2 + e }
+	vertexNode := func(v int) int { return 2 + m + v }
+	inf := math.Inf(1)
+	for i, e := range g.Edges() {
+		d.AddArc(0, edgeNode(i), e.W)
+		d.AddArc(edgeNode(i), vertexNode(e.U), inf)
+		if !e.IsLoop() {
+			d.AddArc(edgeNode(i), vertexNode(e.V), inf)
+		}
+	}
+	for v := 0; v < n; v++ {
+		d.AddArc(vertexNode(v), 1, rho)
+	}
+	return d, edgeNode, vertexNode
+}
+
+// LocallyDense computes the full diminishingly-dense decomposition of
+// Definition II.3 and returns, per node, its maximal density r(v), its
+// layer index (1-based: nodes of the first, densest layer get 1), and the
+// number of layers. It repeatedly extracts the maximal densest subset and
+// passes to the quotient graph G \ B, in which edges leaving the removed
+// prefix become self-loops.
+func LocallyDense(g *graph.Graph) (r []float64, layer []int, layers int) {
+	n := g.N()
+	r = make([]float64, n)
+	layer = make([]int, n)
+	cur := g
+	// orig[i] = original ID of node i of cur
+	orig := make([]graph.NodeID, n)
+	for v := range orig {
+		orig[v] = v
+	}
+	li := 0
+	for cur.N() > 0 {
+		li++
+		res := Densest(cur)
+		if res.Size == 0 {
+			break
+		}
+		for v := 0; v < cur.N(); v++ {
+			if res.Member[v] {
+				r[orig[v]] = res.Rho
+				layer[orig[v]] = li
+			}
+		}
+		next, idx := cur.Quotient(res.Member)
+		newOrig := make([]graph.NodeID, next.N())
+		for i, old := range idx {
+			newOrig[i] = orig[old]
+		}
+		cur, orig = next, newOrig
+	}
+	return r, layer, li
+}
+
+// CharikarPeel is the classical greedy 2-approximation for the densest
+// subset: peel minimum-degree nodes one at a time and return the best
+// prefix density seen. It runs in O(m log n) and is the centralized
+// baseline of experiment E8.
+func CharikarPeel(g *graph.Graph) (member []bool, rho float64) {
+	order, _ := DegeneracyOrder(g)
+	n := g.N()
+	// Replay the peeling, tracking density of the remaining set.
+	alive := n
+	w := g.TotalWeight()
+	deg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.WeightedDegree(v)
+	}
+	removed := make([]bool, n)
+	bestRho := w / float64(n)
+	bestPrefix := 0 // remove none
+	for i, v := range order {
+		// remove v
+		w -= deg[v]
+		removed[v] = true
+		alive--
+		for _, a := range g.Adj(v) {
+			if a.To != v && !removed[a.To] {
+				deg[a.To] -= a.W
+			}
+		}
+		if alive > 0 {
+			rho := w / float64(alive)
+			if rho > bestRho {
+				bestRho = rho
+				bestPrefix = i + 1
+			}
+		}
+	}
+	member = make([]bool, n)
+	for v := range member {
+		member[v] = true
+	}
+	for i := 0; i < bestPrefix; i++ {
+		member[order[i]] = false
+	}
+	return member, bestRho
+}
+
+// BahmaniPeel is the iterated-threshold peeling of Bahmani, Kumar and
+// Vassilvitskii: in each pass, delete every node whose degree in the
+// remaining graph is below 2(1+eps)·ρ(current). It terminates within
+// O(log_{1+eps} n) passes and the best intermediate subgraph is a
+// 2(1+eps)-approximate densest subset. Returns the subset, its density and
+// the number of passes (the streaming pass count of experiment E8).
+func BahmaniPeel(g *graph.Graph, eps float64) (member []bool, rho float64, passes int) {
+	if eps <= 0 {
+		panic("exact: BahmaniPeel requires eps > 0")
+	}
+	n := g.N()
+	alive := make([]bool, n)
+	for v := range alive {
+		alive[v] = true
+	}
+	count := n
+	w := g.TotalWeight()
+	deg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.WeightedDegree(v)
+	}
+	bestRho := 0.0
+	var best []bool
+	for count > 0 {
+		passes++
+		cur := w / float64(count)
+		if cur > bestRho {
+			bestRho = cur
+			best = append([]bool(nil), alive...)
+		}
+		thr := 2 * (1 + eps) * cur
+		var del []int
+		for v := 0; v < n; v++ {
+			if alive[v] && deg[v] < thr {
+				del = append(del, v)
+			}
+		}
+		if len(del) == 0 {
+			// Remaining graph has min degree ≥ 2(1+eps)ρ — cannot happen
+			// for eps > 0 unless empty; break defensively.
+			break
+		}
+		// Delete one at a time, updating degrees as we go, so edges between
+		// two nodes deleted in the same pass are only discounted once.
+		for _, v := range del {
+			alive[v] = false
+			count--
+			w -= deg[v]
+			for _, a := range g.Adj(v) {
+				if a.To != v && alive[a.To] {
+					deg[a.To] -= a.W
+				}
+			}
+		}
+	}
+	return best, bestRho, passes
+}

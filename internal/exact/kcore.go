@@ -1,0 +1,216 @@
+package exact
+
+import (
+	"container/heap"
+	"sort"
+
+	"distkcore/internal/graph"
+)
+
+// CoresUnweighted computes the exact coreness of every node of a unit-weight
+// graph with the Batagelj–Zaversnik bucket algorithm in O(n + m) time.
+// Self-loops contribute 1 to the degree of their node. It panics if g has a
+// non-unit edge weight.
+func CoresUnweighted(g *graph.Graph) []int {
+	if !g.IsUnitWeight() {
+		panic("exact: CoresUnweighted requires unit weights")
+	}
+	n := g.N()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// bucket sort nodes by degree
+	bin := make([]int, maxDeg+2)
+	for v := 0; v < n; v++ {
+		bin[deg[v]]++
+	}
+	start := 0
+	for d := 0; d <= maxDeg; d++ {
+		cnt := bin[d]
+		bin[d] = start
+		start += cnt
+	}
+	pos := make([]int, n)
+	vert := make([]int, n)
+	for v := 0; v < n; v++ {
+		pos[v] = bin[deg[v]]
+		vert[pos[v]] = v
+		bin[deg[v]]++
+	}
+	for d := maxDeg; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+
+	core := make([]int, n)
+	copy(core, deg)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		for _, a := range g.Adj(v) {
+			u := a.To
+			if u == v {
+				continue
+			}
+			if core[u] > core[v] {
+				du, pu := core[u], pos[u]
+				pw := bin[du]
+				w := vert[pw]
+				if u != w {
+					pos[u], pos[w] = pw, pu
+					vert[pu], vert[pw] = w, u
+				}
+				bin[du]++
+				core[u]--
+			}
+		}
+	}
+	return core
+}
+
+// peelItem is a lazy priority-queue entry for weighted peeling.
+type peelItem struct {
+	v   int
+	deg float64
+}
+
+type peelHeap []peelItem
+
+func (h peelHeap) Len() int            { return len(h) }
+func (h peelHeap) Less(i, j int) bool  { return h[i].deg < h[j].deg }
+func (h peelHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *peelHeap) Push(x interface{}) { *h = append(*h, x.(peelItem)) }
+func (h *peelHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// CoresWeighted computes the exact weighted coreness c(v) of every node:
+// the largest b such that v belongs to a subgraph of minimum weighted
+// degree ≥ b. It peels the node of minimum current weighted degree with a
+// lazy min-heap; c(removed) = max(current degree, largest value assigned so
+// far). O(m log n). Self-loops count their weight once and disappear with
+// their node.
+func CoresWeighted(g *graph.Graph) []float64 {
+	n := g.N()
+	deg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.WeightedDegree(v)
+	}
+	h := make(peelHeap, 0, n)
+	for v := 0; v < n; v++ {
+		h = append(h, peelItem{v: v, deg: deg[v]})
+	}
+	heap.Init(&h)
+	removed := make([]bool, n)
+	core := make([]float64, n)
+	running := 0.0
+	for count := 0; count < n; {
+		it := heap.Pop(&h).(peelItem)
+		if removed[it.v] || it.deg != deg[it.v] {
+			continue // stale entry
+		}
+		removed[it.v] = true
+		count++
+		if it.deg > running {
+			running = it.deg
+		}
+		core[it.v] = running
+		for _, a := range g.Adj(it.v) {
+			if a.To == it.v || removed[a.To] {
+				continue
+			}
+			deg[a.To] -= a.W
+			heap.Push(&h, peelItem{v: a.To, deg: deg[a.To]})
+		}
+	}
+	return core
+}
+
+// DegeneracyOrder returns a peeling order of the nodes (minimum weighted
+// degree first) and the weighted degree each node had at removal time.
+func DegeneracyOrder(g *graph.Graph) (order []graph.NodeID, degAt []float64) {
+	n := g.N()
+	deg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.WeightedDegree(v)
+	}
+	h := make(peelHeap, 0, n)
+	for v := 0; v < n; v++ {
+		h = append(h, peelItem{v: v, deg: deg[v]})
+	}
+	heap.Init(&h)
+	removed := make([]bool, n)
+	order = make([]graph.NodeID, 0, n)
+	degAt = make([]float64, n)
+	for len(order) < n {
+		it := heap.Pop(&h).(peelItem)
+		if removed[it.v] || it.deg != deg[it.v] {
+			continue
+		}
+		removed[it.v] = true
+		degAt[it.v] = it.deg
+		order = append(order, it.v)
+		for _, a := range g.Adj(it.v) {
+			if a.To == it.v || removed[a.To] {
+				continue
+			}
+			deg[a.To] -= a.W
+			heap.Push(&h, peelItem{v: a.To, deg: deg[a.To]})
+		}
+	}
+	return order, degAt
+}
+
+// KCoreSubgraph returns the membership mask of the k-core of g: the maximal
+// induced subgraph with minimum weighted degree ≥ k (possibly empty).
+func KCoreSubgraph(g *graph.Graph, k float64) []bool {
+	cores := CoresWeighted(g)
+	member := make([]bool, g.N())
+	any := false
+	for v, c := range cores {
+		if c >= k {
+			member[v] = true
+			any = true
+		}
+	}
+	if !any {
+		return member
+	}
+	return member
+}
+
+// Degeneracy returns max_v c(v), the weighted degeneracy of g.
+func Degeneracy(g *graph.Graph) float64 {
+	m := 0.0
+	for _, c := range CoresWeighted(g) {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// CoreHistogram returns the sorted distinct coreness values and their node
+// counts — handy in experiment reports.
+func CoreHistogram(cores []float64) (values []float64, counts []int) {
+	cnt := make(map[float64]int)
+	for _, c := range cores {
+		cnt[c]++
+	}
+	for v := range cnt {
+		values = append(values, v)
+	}
+	sort.Float64s(values)
+	counts = make([]int, len(values))
+	for i, v := range values {
+		counts[i] = cnt[v]
+	}
+	return values, counts
+}

@@ -1,0 +1,175 @@
+package exact
+
+import (
+	"math"
+
+	"distkcore/internal/graph"
+)
+
+// Orientation assigns every edge to one endpoint: Owner[e] ∈ {U,V} of edge
+// e. The load of a node is the total weight of edges assigned to it; the
+// objective of the min-max edge orientation problem is the maximum load.
+type Orientation struct {
+	Owner []graph.NodeID // Owner[e] = node that edge e points into
+}
+
+// Loads returns the per-node weighted in-degree of the orientation.
+func (o Orientation) Loads(g *graph.Graph) []float64 {
+	loads := make([]float64, g.N())
+	for eid, owner := range o.Owner {
+		loads[owner] += g.Edges()[eid].W
+	}
+	return loads
+}
+
+// MaxLoad returns the objective value max_v Σ_{e∈a⁻¹(v)} w_e.
+func (o Orientation) MaxLoad(g *graph.Graph) float64 {
+	m := 0.0
+	for _, l := range o.Loads(g) {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// Feasible reports whether every edge has an owner that is one of its
+// endpoints.
+func (o Orientation) Feasible(g *graph.Graph) bool {
+	if len(o.Owner) != g.M() {
+		return false
+	}
+	for eid, owner := range o.Owner {
+		e := g.Edges()[eid]
+		if owner != e.U && owner != e.V {
+			return false
+		}
+	}
+	return true
+}
+
+// OrientationLowerBound returns ρ*, the maximum subset density, which by LP
+// weak duality (Section II) lower-bounds the optimal min-max orientation
+// value for arbitrary weights. For unit weights the optimum is exactly
+// ⌈ρ*⌉ (pseudoarboricity).
+func OrientationLowerBound(g *graph.Graph) float64 { return MaxDensity(g) }
+
+// ExactOrientationUnit computes an optimal orientation of a unit-weight
+// graph by binary-searching the max in-degree k and testing feasibility
+// with a flow network (edges must be fully assigned; node capacity k).
+// The weighted problem is NP-hard already for weights {1,k}, so no exact
+// weighted solver is provided (use OrientationLowerBound + heuristics).
+func ExactOrientationUnit(g *graph.Graph) (Orientation, int) {
+	if !g.IsUnitWeight() {
+		panic("exact: ExactOrientationUnit requires unit weights")
+	}
+	n, m := g.N(), g.M()
+	if m == 0 {
+		return Orientation{Owner: nil}, 0
+	}
+	lo := int(math.Ceil(MaxDensity(g))) // pseudoarboricity lower bound
+	if lo < 1 {
+		lo = 1
+	}
+	hi := 0
+	for v := 0; v < n; v++ {
+		if d := g.Degree(v); d > hi {
+			hi = d
+		}
+	}
+	orientAt := func(k int) (Orientation, bool) {
+		d := NewDinic(2 + m + n)
+		edgeNode := func(e int) int { return 2 + e }
+		vertexNode := func(v int) int { return 2 + m + v }
+		arcToU := make([]int, m)
+		arcToV := make([]int, m)
+		for i, e := range g.Edges() {
+			d.AddArc(0, edgeNode(i), 1)
+			arcToU[i] = d.AddArc(edgeNode(i), vertexNode(e.U), 1)
+			if e.IsLoop() {
+				arcToV[i] = -1
+			} else {
+				arcToV[i] = d.AddArc(edgeNode(i), vertexNode(e.V), 1)
+			}
+		}
+		for v := 0; v < n; v++ {
+			d.AddArc(vertexNode(v), 1, float64(k))
+		}
+		flow := d.MaxFlow(0, 1)
+		if flow < float64(m)-0.5 {
+			return Orientation{}, false
+		}
+		owner := make([]graph.NodeID, m)
+		for i, e := range g.Edges() {
+			if d.Flow(arcToU[i], 1) > 0.5 {
+				owner[i] = e.U
+			} else {
+				owner[i] = e.V
+			}
+		}
+		return Orientation{Owner: owner}, true
+	}
+	// Binary search the smallest feasible k, then orient at it.
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if _, ok := orientAt(mid); ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	o, ok := orientAt(lo)
+	if !ok {
+		panic("exact: orientation at the maximum degree must be feasible")
+	}
+	return o, lo
+}
+
+// GreedyOrientation orients every edge toward its endpoint with the
+// currently smaller load (ties toward the smaller ID), processing edges in
+// input order. A simple centralized heuristic used as a sanity baseline.
+func GreedyOrientation(g *graph.Graph) Orientation {
+	loads := make([]float64, g.N())
+	owner := make([]graph.NodeID, g.M())
+	for i, e := range g.Edges() {
+		target := e.U
+		if !e.IsLoop() && (loads[e.V] < loads[e.U] ||
+			(loads[e.V] == loads[e.U] && e.V < e.U)) {
+			target = e.V
+		}
+		owner[i] = target
+		loads[target] += e.W
+	}
+	return Orientation{Owner: owner}
+}
+
+// LocalSearchOrientation improves an orientation by repeatedly flipping an
+// edge from its owner to the other endpoint whenever that strictly reduces
+// the larger of the two incident loads, until no improving flip exists or
+// the iteration budget is exhausted. For unit weights local optimality
+// implies max load ≤ OPT + log-ish slack; we use it only as an empirical
+// baseline.
+func LocalSearchOrientation(g *graph.Graph, o Orientation, maxSweeps int) Orientation {
+	owner := append([]graph.NodeID(nil), o.Owner...)
+	loads := Orientation{Owner: owner}.Loads(g)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		improved := false
+		for eid, e := range g.Edges() {
+			if e.IsLoop() {
+				continue
+			}
+			cur := owner[eid]
+			oth := e.Other(cur)
+			if loads[oth]+e.W < loads[cur] {
+				loads[cur] -= e.W
+				loads[oth] += e.W
+				owner[eid] = oth
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return Orientation{Owner: owner}
+}

@@ -1,0 +1,169 @@
+package exact
+
+import "math"
+
+// PushRelabel is a second max-flow implementation (highest-label push-
+// relabel with the gap heuristic), kept alongside Dinic so the flow-based
+// exact solvers can be cross-checked: the test suite asserts both engines
+// agree on random networks and on every densest-subset network shape.
+// For the shallow, wide networks this package builds, Dinic is usually
+// faster; push-relabel wins on adversarial layered instances.
+type PushRelabel struct {
+	n      int
+	head   [][]int
+	arcs   []prArc
+	excess []float64
+	height []int
+	count  []int // count[h] = number of nodes at height h (gap heuristic)
+	active []int // stack of active nodes
+	inQ    []bool
+}
+
+type prArc struct {
+	to  int
+	cap float64
+	rev int
+}
+
+// NewPushRelabel creates a solver over n nodes.
+func NewPushRelabel(n int) *PushRelabel {
+	return &PushRelabel{n: n, head: make([][]int, n)}
+}
+
+// AddArc inserts a directed arc u→v with the given capacity and returns
+// its index (flow readable later via Flow).
+func (p *PushRelabel) AddArc(u, v int, cap float64) int {
+	if cap < 0 {
+		panic("exact: negative capacity")
+	}
+	i := len(p.arcs)
+	p.arcs = append(p.arcs, prArc{to: v, cap: cap, rev: i + 1})
+	p.arcs = append(p.arcs, prArc{to: u, cap: 0, rev: i})
+	p.head[u] = append(p.head[u], i)
+	p.head[v] = append(p.head[v], i+1)
+	return i
+}
+
+// Flow returns the flow pushed through arc arcIdx given its original
+// capacity.
+func (p *PushRelabel) Flow(arcIdx int, originalCap float64) float64 {
+	return originalCap - p.arcs[arcIdx].cap
+}
+
+func (p *PushRelabel) push(v int, ai int) {
+	a := &p.arcs[ai]
+	d := math.Min(p.excess[v], a.cap)
+	a.cap -= d
+	p.arcs[a.rev].cap += d
+	p.excess[v] -= d
+	p.excess[a.to] += d
+}
+
+// MaxFlow computes the maximum s–t flow.
+func (p *PushRelabel) MaxFlow(s, t int) float64 {
+	n := p.n
+	p.excess = make([]float64, n)
+	p.height = make([]int, n)
+	p.count = make([]int, 2*n+1)
+	p.inQ = make([]bool, n)
+	p.active = p.active[:0]
+
+	p.height[s] = n
+	p.count[0] = n - 1
+	p.count[n] = 1
+
+	enqueue := func(v int) {
+		if !p.inQ[v] && v != s && v != t && p.excess[v] > flowEps {
+			p.inQ[v] = true
+			p.active = append(p.active, v)
+		}
+	}
+
+	// saturate source arcs
+	for _, ai := range p.head[s] {
+		a := &p.arcs[ai]
+		if a.cap > 0 {
+			p.excess[s] += a.cap
+			p.push(s, ai)
+			enqueue(a.to)
+		}
+	}
+
+	for len(p.active) > 0 {
+		v := p.active[len(p.active)-1]
+		p.active = p.active[:len(p.active)-1]
+		p.inQ[v] = false
+		p.discharge(v, enqueue)
+	}
+	return p.excess[t]
+}
+
+func (p *PushRelabel) discharge(v int, enqueue func(int)) {
+	for p.excess[v] > flowEps {
+		pushed := false
+		for _, ai := range p.head[v] {
+			a := &p.arcs[ai]
+			if a.cap > flowEps && p.height[v] == p.height[a.to]+1 {
+				p.push(v, ai)
+				enqueue(a.to)
+				pushed = true
+				if p.excess[v] <= flowEps {
+					return
+				}
+			}
+		}
+		if !pushed {
+			p.relabel(v)
+			if p.height[v] > 2*p.n {
+				return
+			}
+		}
+	}
+}
+
+func (p *PushRelabel) relabel(v int) {
+	oldH := p.height[v]
+	p.count[oldH]--
+	minH := 2 * p.n
+	for _, ai := range p.head[v] {
+		a := p.arcs[ai]
+		if a.cap > flowEps && p.height[a.to]+1 < minH {
+			minH = p.height[a.to] + 1
+		}
+	}
+	p.height[v] = minH
+	if minH <= 2*p.n {
+		p.count[minH]++
+	}
+	// gap heuristic: if no node remains at oldH, everything strictly above
+	// oldH (below n+1) can never reach t again — lift it beyond n.
+	if oldH < p.n && p.count[oldH] == 0 {
+		for u := 0; u < p.n; u++ {
+			if u != v && oldH < p.height[u] && p.height[u] < p.n {
+				p.count[p.height[u]]--
+				p.height[u] = p.n + 1
+				p.count[p.n+1]++
+			}
+		}
+	}
+}
+
+// MinCutSourceSide returns the nodes reachable from s in the residual
+// network after MaxFlow.
+func (p *PushRelabel) MinCutSourceSide(s int) []bool {
+	side := make([]bool, p.n)
+	stack := []int{s}
+	side[s] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ai := range p.head[v] {
+			a := p.arcs[ai]
+			if a.cap > flowEps && !side[a.to] {
+				side[a.to] = true
+				stack = append(stack, a.to)
+			}
+		}
+	}
+	return side
+}

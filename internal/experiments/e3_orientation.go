@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distkcore/internal/core"
+	"distkcore/internal/exact"
+	"distkcore/internal/orient"
+	"distkcore/internal/stats"
+)
+
+func init() {
+	register(Spec{ID: "E3", Title: "Theorem I.2: min-max orientation quality vs rounds", Run: runE3})
+}
+
+// runE3 sweeps the round budget and reports the achieved maximum load of
+// the primal-dual orientation against the LP lower bound ρ* (all weights)
+// and against the exact integral optimum (unit weights).
+func runE3(cfg Config) *Report {
+	rep := &Report{
+		ID:    "E3",
+		Title: "Theorem I.2: min-max orientation quality vs rounds",
+		Claim: "augmented elimination gives a feasible orientation with max load ≤ 2n^{1/T}·ρ* (Corollary III.12)",
+	}
+	base := standardWorkloads(cfg)
+	if len(base) > 4 {
+		base = base[:4]
+	}
+	for _, w := range weightedVariants(base[:2], cfg.Seed+77) {
+		runE3Workload(rep, w, cfg)
+	}
+	for _, w := range base[2:] {
+		runE3Workload(rep, w, cfg)
+	}
+	return rep
+}
+
+func runE3Workload(rep *Report, w workload, cfg Config) {
+	rho := exact.MaxDensity(w.G)
+	if rho == 0 {
+		return
+	}
+	optStr := "-"
+	opt := -1
+	if w.G.IsUnitWeight() && w.G.N() <= 3000 {
+		_, opt = exact.ExactOrientationUnit(w.G)
+		optStr = fmt.Sprintf("%d", opt)
+	}
+	Tmax := core.TForEpsilon(w.G.N(), 0.5)
+	tbl := stats.NewTable("T", "bound 2n^(1/T)", "max load", "load/ρ*", "load/OPT", "feasible")
+	worstRatio := 0.0
+	for _, t := range sweepT(Tmax) {
+		res := core.Run(w.G, core.Options{Rounds: t, TrackAux: true})
+		o, _ := orient.FromElimination(w.G, res)
+		load := o.MaxLoad(w.G)
+		ratio := load / rho
+		if ratio > worstRatio {
+			worstRatio = ratio
+		}
+		optRatio := "-"
+		if opt > 0 {
+			optRatio = fmt.Sprintf("%.3f", load/float64(opt))
+		}
+		tbl.AddRow(t, core.GuaranteeAtT(w.G.N(), t), load, ratio, optRatio, o.Feasible(w.G))
+	}
+	rep.Tables = append(rep.Tables, Table{
+		Name: fmt.Sprintf("%s (n=%d, m=%d, ρ*=%.3f, unit OPT=%s)", w.Name, w.G.N(), w.G.M(), rho, optStr),
+		Body: tbl.String(),
+	})
+	rep.Notes = append(rep.Notes, fmt.Sprintf("%s: worst load/ρ* over sweep = %.3f", w.Name, worstRatio))
+}
+
+// sweepT returns an increasing round schedule ending at Tmax.
+func sweepT(Tmax int) []int {
+	var ts []int
+	for t := 1; t < Tmax; t *= 2 {
+		ts = append(ts, t)
+	}
+	ts = append(ts, Tmax)
+	return ts
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"distkcore/internal/core"
+	"distkcore/internal/exact"
+	"distkcore/internal/graph"
+	"distkcore/internal/stats"
+)
+
+func init() {
+	register(Spec{ID: "E5", Title: "Lemma III.13: γ-ary tree round lower bound", Run: runE5})
+}
+
+// runE5 builds the (G, G′) pairs of Lemma III.13 — a complete γ-ary tree
+// versus the same tree with a clique on its leaves — and measures the first
+// round at which the root's surviving number in G drops below γ (the point
+// where an algorithm could safely output a < γ-approximation). The lemma
+// predicts this takes the full tree depth Θ(log n / log γ).
+func runE5(cfg Config) *Report {
+	rep := &Report{
+		ID:    "E5",
+		Title: "Lemma III.13: γ-ary tree round lower bound",
+		Claim: "approximation ratio < γ requires Ω(log n / log γ) rounds",
+	}
+	type pairSpec struct{ gamma, depth int }
+	pairs := []pairSpec{{2, 8}, {3, 6}, {4, 5}, {8, 4}}
+	if cfg.Short {
+		pairs = []pairSpec{{2, 6}, {3, 4}, {4, 3}, {8, 2}}
+	}
+	tbl := stats.NewTable("γ", "depth", "n", "c_G(root)", "c_G'(root)",
+		"rounds until β_G(root)<γ", "log n/log γ")
+	for _, p := range pairs {
+		gt := graph.NewGammaTreePair(p.gamma, p.depth)
+		cG := exact.CoresUnweighted(gt.G)
+		cGP := exact.CoresUnweighted(gt.GPrime)
+		// history on the plain tree: when does the root's β drop below γ?
+		res := core.Run(gt.G, core.Options{Rounds: p.depth + 2, RecordHistory: true})
+		sep := -1
+		for t := range res.History {
+			if res.History[t][gt.Root] < float64(p.gamma) {
+				sep = t + 1
+				break
+			}
+		}
+		n := gt.G.N()
+		tbl.AddRow(p.gamma, p.depth, n, cG[gt.Root], cGP[gt.Root], sep,
+			math.Log(float64(n))/math.Log(float64(p.gamma)))
+		if cG[gt.Root] != 1 {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("γ=%d: tree root coreness %d ≠ 1!", p.gamma, cG[gt.Root]))
+		}
+		if cGP[gt.Root] < p.gamma {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("γ=%d: clique-tree root coreness %d < γ!", p.gamma, cGP[gt.Root]))
+		}
+	}
+	rep.Tables = append(rep.Tables, Table{Name: "separation rounds", Body: tbl.String()})
+	rep.Notes = append(rep.Notes,
+		"within < depth rounds the root's β is ≥ γ in BOTH graphs (views identical), so any algorithm outputting < γ-approximation that early errs on one of them",
+		"the measured separation round tracks the depth ≈ log n / log γ column")
+	return rep
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"distkcore/internal/core"
+	"distkcore/internal/graph"
+	"distkcore/internal/stats"
+)
+
+func init() {
+	register(Spec{ID: "E7", Title: "vs Montresor et al.: rounds to exact convergence", Run: runE7})
+}
+
+// runE7 contrasts the paper's fixed T = ⌈log_{1+ε}n⌉ with the rounds the
+// exact distributed algorithm (Algorithm 2 run to fixpoint, i.e. Montresor
+// et al.) needs. On high-diameter graphs the exact algorithm's round count
+// grows with the structure while the approximation budget stays
+// logarithmic — the "diameter barrier" being broken.
+func runE7(cfg Config) *Report {
+	rep := &Report{
+		ID:    "E7",
+		Title: "vs Montresor et al.: rounds to exact convergence",
+		Claim: "exact k-core needs Ω(n) rounds in the worst case; 2(1+ε)-approximation needs ⌈log_{1+ε}n⌉, independent of diameter",
+	}
+	eps := 0.5
+	tbl := stats.NewTable("graph", "n", "m", "diameter", "exact rounds", "T(ε=0.5)", "exact/T")
+	ws := standardWorkloads(cfg)
+	// Adversarial high-diameter inputs where exactness costs Θ(n) rounds:
+	// the Figure I.1(b) gadget and a long path.
+	gadN := 1024
+	if cfg.Short {
+		gadN = 128
+	}
+	ws = append(ws,
+		workload{"figI1b", graph.FigureI1B(gadN).G},
+		workload{"path", graph.Path(gadN)},
+	)
+	for _, w := range ws {
+		d, _ := diameterCapped(w, cfg)
+		_, rounds := core.ExactCoreness(w.G)
+		T := core.TForEpsilon(w.G.N(), eps)
+		tbl.AddRow(w.Name, w.G.N(), w.G.M(), d, rounds, T, float64(rounds)/float64(T))
+	}
+	rep.Tables = append(rep.Tables, Table{Name: "round comparison", Body: tbl.String()})
+	rep.Notes = append(rep.Notes,
+		"grid/caveman (high diameter): exact rounds track the diameter; T does not",
+		"the approximation runs the *same* protocol, just stopped early with a proven guarantee")
+	return rep
+}
+
+func diameterCapped(w workload, cfg Config) (int, bool) {
+	if !cfg.Short && w.G.N() > 2500 {
+		// all-pairs BFS too slow; sample eccentricity from node 0
+		dist := w.G.BFSDistances(0)
+		m := 0
+		for _, d := range dist {
+			if d > m {
+				m = d
+			}
+		}
+		return m, false // lower bound on the diameter
+	}
+	d, conn := w.G.Diameter()
+	return d, conn
+}

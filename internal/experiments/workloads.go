@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"distkcore/internal/graph"
+)
+
+// workload is a named evaluation graph.
+type workload struct {
+	Name string
+	G    *graph.Graph
+}
+
+// standardWorkloads returns the mixed synthetic suite used by E2/E3/E7/E9.
+func standardWorkloads(cfg Config) []workload {
+	s := 1
+	if cfg.Short {
+		s = 0
+	}
+	sz := func(big, small int) int {
+		if s == 0 {
+			return small
+		}
+		return big
+	}
+	return []workload{
+		{"er", graph.ErdosRenyi(sz(2000, 120), pick(s, 0.004, 0.06), cfg.Seed)},
+		{"ba", graph.BarabasiAlbert(sz(2000, 120), 4, cfg.Seed+1)},
+		{"rmat", graph.RMAT(pick2(s, 11, 7), 8, 0.57, 0.19, 0.19, cfg.Seed+2)},
+		{"planted", graph.PlantedPartition(sz(20, 4), sz(50, 20), 0.25, 0.002, cfg.Seed+3)},
+		{"caveman", graph.Caveman(sz(40, 6), sz(12, 6))},
+		{"grid", graph.Grid(sz(40, 8), sz(40, 8))},
+	}
+}
+
+// realWorldStandIns are the substitutes for the full version's real graphs.
+func realWorldStandIns(cfg Config) []workload {
+	scale := 1
+	if cfg.Short {
+		// tiny stand-ins with the same shapes
+		return []workload{
+			{"ca-hepth-like", graph.BarabasiAlbert(300, 3, cfg.Seed)},
+			{"dblp-like", graph.PlantedPartition(6, 25, 0.3, 0.004, cfg.Seed+1)},
+			{"as-skitter-like", graph.RMAT(8, 8, 0.57, 0.19, 0.19, cfg.Seed+2)},
+		}
+	}
+	var out []workload
+	for _, p := range []graph.Preset{graph.PresetCAHepTh, graph.PresetDBLP, graph.PresetASSkitter} {
+		g, err := graph.FromPreset(p, scale, cfg.Seed)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, workload{string(p), g})
+	}
+	return out
+}
+
+func pick(s int, big, small float64) float64 {
+	if s == 0 {
+		return small
+	}
+	return big
+}
+
+func pick2(s, big, small int) int {
+	if s == 0 {
+		return small
+	}
+	return big
+}
+
+// weightedVariants re-weights each workload with the paper-relevant models.
+func weightedVariants(ws []workload, seed int64) []workload {
+	var out []workload
+	for _, w := range ws {
+		out = append(out, w)
+		out = append(out, workload{
+			w.Name + "+unif",
+			graph.Apply(w.G, graph.UniformWeights{Lo: 1, Hi: 9}, seed),
+		})
+		out = append(out, workload{
+			w.Name + "+1k",
+			graph.Apply(w.G, graph.TwoValued{K: 8, P: 0.3}, seed+1),
+		})
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package external
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distkcore/internal/core"
+	"distkcore/internal/exact"
+	"distkcore/internal/graph"
+)
+
+func writeGraph(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "graph.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, g, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFixpointEqualsExactCores(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.ErdosRenyi(100, 0.06, 1),
+		graph.BarabasiAlbert(100, 3, 2),
+		graph.Caveman(4, 8),
+		graph.Grid(8, 8),
+	} {
+		path := writeGraph(t, g)
+		res, err := CoresFromFile(path, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatal("did not converge")
+		}
+		want := exact.CoresUnweighted(g)
+		for v := 0; v < g.N(); v++ {
+			if res.B[v] != float64(want[v]) {
+				t.Fatalf("core(%d)=%v, want %d", v, res.B[v], want[v])
+			}
+		}
+	}
+}
+
+func TestIntegerWeightedFixpoint(t *testing.T) {
+	g := graph.Apply(graph.ErdosRenyi(60, 0.12, 3), graph.UniformWeights{Lo: 1, Hi: 5}, 4)
+	path := writeGraph(t, g)
+	res, err := CoresFromFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exact.CoresWeighted(g)
+	for v := 0; v < g.N(); v++ {
+		if math.Abs(res.B[v]-want[v]) > 1e-9 {
+			t.Fatalf("core(%d)=%v, want %v", v, res.B[v], want[v])
+		}
+	}
+}
+
+func TestPassesMatchSynchronousRounds(t *testing.T) {
+	// After P streaming passes the estimates are β_{P+1} (pass 0 computes
+	// the degrees = β_1).
+	g := graph.BarabasiAlbert(80, 3, 5)
+	path := writeGraph(t, g)
+	for _, p := range []int{1, 2, 4} {
+		res, err := CoresFromFile(path, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := core.Run(g, core.Options{Rounds: p + 1})
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(res.B[v]-want.B[v]) > 1e-9 {
+				t.Fatalf("passes=%d node %d: streaming %v, sync %v", p, v, res.B[v], want.B[v])
+			}
+		}
+	}
+}
+
+func TestSelfLoopsInFile(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 0, 4).AddUnitEdge(0, 1).AddUnitEdge(1, 2)
+	g := b.Build()
+	path := writeGraph(t, g)
+	res, err := CoresFromFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exact.CoresWeighted(g)
+	for v := 0; v < 3; v++ {
+		if math.Abs(res.B[v]-want[v]) > 1e-9 {
+			t.Fatalf("core(%d)=%v, want %v", v, res.B[v], want[v])
+		}
+	}
+}
+
+func TestRejectsFractionalWeights(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(path, []byte("n 2\n0 1 0.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CoresFromFile(path, 0); err == nil {
+		t.Fatal("fractional weight must be rejected")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	if _, err := CoresFromFile("/nonexistent/nope.txt", 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestEdgesStreamedAccounting(t *testing.T) {
+	g := graph.Cycle(30)
+	path := writeGraph(t, g)
+	res, err := CoresFromFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pass 0 + (Passes + 1 final no-change pass) sweeps, 30 edges each
+	minEdges := int64(30 * 2)
+	if res.EdgesStreamed < minEdges {
+		t.Fatalf("streamed %d edge records, want ≥ %d", res.EdgesStreamed, minEdges)
+	}
+	if res.EdgesStreamed%30 != 0 {
+		t.Fatalf("streamed %d not a multiple of m", res.EdgesStreamed)
+	}
+}

@@ -1,0 +1,149 @@
+package graph
+
+// This file implements the lower-bound constructions from the paper.
+//
+// Figure I.1 shows three unit-weight graphs in which a distinguished node v
+// cannot tell, within o(n) rounds, whether its coreness is 2 or 1, nor which
+// of its two incident edges must point inward in an optimal orientation:
+//
+//	(a) a single cycle through v           — c(v) = 2
+//	(b) a path ending in a free end on one side of v and a cycle on the
+//	    other side                         — c(v) = 1, v's in-edge forced
+//	    to come from the cycle side
+//	(c) the mirror image of (b)            — c(v) = 1, forced the other way
+//
+// In (b)/(c) the unique orientation with maximum in-degree 1 orients the
+// path edges away from the cycle, so v's two edges have a forced pattern
+// that differs between (b) and (c) while v's o(n)-hop view is identical in
+// all three graphs.
+
+// FigI1 is one of the Figure I.1 gadgets together with its distinguished
+// node and ground-truth facts used by experiment E1.
+type FigI1 struct {
+	G *Graph
+	// V is the distinguished node.
+	V NodeID
+	// CoreV is the true coreness of V (2 for variant a, 1 for b and c).
+	CoreV float64
+	// ForcedIn is the neighbor from which V's in-edge must come in any
+	// orientation with maximum in-degree 1, or -1 if V lies on the cycle
+	// (variant a: either direction works, but exactly one edge must enter V).
+	ForcedIn NodeID
+	// FreeEndDist is the hop distance from V to the nearest degree-1 node
+	// (-1 for variant a). The elimination procedure needs this many rounds
+	// before β(V) can drop below 2.
+	FreeEndDist int
+}
+
+// FigureI1A returns variant (a): the cycle C_n through v = 0.
+func FigureI1A(n int) FigI1 {
+	if n < 3 {
+		panic("graph: FigureI1A requires n >= 3")
+	}
+	return FigI1{G: Cycle(n), V: 0, CoreV: 2, ForcedIn: -1, FreeEndDist: -1}
+}
+
+// figI1PathCycle builds a graph of n nodes: a cycle of cycleLen nodes with a
+// pendant path of n-cycleLen nodes attached to cycle node 0. Path nodes are
+// numbered cycleLen..n-1 outward; node n-1 is the free end.
+func figI1PathCycle(n, cycleLen int) *Graph {
+	if cycleLen < 3 || n <= cycleLen {
+		panic("graph: figI1PathCycle requires 3 <= cycleLen < n")
+	}
+	b := NewBuilder(n)
+	for v := 0; v < cycleLen; v++ {
+		b.AddUnitEdge(v, (v+1)%cycleLen)
+	}
+	prev := 0
+	for v := cycleLen; v < n; v++ {
+		b.AddUnitEdge(prev, v)
+		prev = v
+	}
+	return b.Build()
+}
+
+// FigureI1B returns variant (b): v sits in the middle of the pendant path,
+// with the cycle on the low-ID side and the free end on the high-ID side.
+func FigureI1B(n int) FigI1 {
+	if n < 8 {
+		panic("graph: FigureI1B requires n >= 8")
+	}
+	cycleLen := n / 2
+	if cycleLen < 3 {
+		cycleLen = 3
+	}
+	g := figI1PathCycle(n, cycleLen)
+	pathLen := n - cycleLen
+	v := cycleLen + pathLen/2 // middle of the path
+	return FigI1{
+		G:           g,
+		V:           v,
+		CoreV:       1,
+		ForcedIn:    v - 1, // the neighbor on the cycle side
+		FreeEndDist: (n - 1) - v,
+	}
+}
+
+// FigureI1C returns variant (c): as (b) but mirrored — the forced in-edge of
+// v comes from the free-end side's opposite neighbor. Structurally the graph
+// is (b) with v shifted by one hop, so v's k-hop views in (b) and (c)
+// coincide for all k < FreeEndDist while the forced orientation pattern at v
+// differs.
+func FigureI1C(n int) FigI1 {
+	f := FigureI1B(n)
+	// Move the distinguished node one hop toward the cycle: now the
+	// free-end distance grows by one and the forced in-neighbor is still the
+	// cycle-side neighbor, but relative to (b)'s v the pattern of arrows on
+	// the shared edge {v_b - 1, v_b} is reversed (it is v_c's out-edge).
+	v := f.V - 1
+	return FigI1{
+		G:           f.G,
+		V:           v,
+		CoreV:       1,
+		ForcedIn:    v - 1,
+		FreeEndDist: (f.G.N() - 1) - v,
+	}
+}
+
+// GammaTreePair is the Lemma III.13 construction: G is a complete γ-ary
+// tree; GPrime is the same tree with a clique planted on its leaves.
+// The root has coreness 1 in G but ≥ γ in GPrime, and no orientation of
+// GPrime has maximum in-degree < γ/2 (the leaf clique alone forces average
+// in-degree ≈ (L-1)/2 among its L nodes), while G orients with max
+// in-degree 1. Any algorithm achieving approximation ratio < γ at the root
+// must run for at least Depth rounds.
+type GammaTreePair struct {
+	G      *Graph
+	GPrime *Graph
+	Root   NodeID
+	Gamma  int
+	Depth  int
+	Leaves []NodeID
+}
+
+// NewGammaTreePair builds the pair for the given branching factor γ ≥ 2 and
+// depth ≥ 1. The paper requires at least 2γ+1 leaves; callers should pick
+// depth large enough (γ^depth ≥ 2γ+1), which holds for depth ≥ 2 when γ ≥ 2.
+func NewGammaTreePair(gamma, depth int) GammaTreePair {
+	if gamma < 2 || depth < 1 {
+		panic("graph: NewGammaTreePair requires gamma >= 2, depth >= 1")
+	}
+	g, leaves := CompleteKaryTree(gamma, depth)
+	b := NewBuilder(g.N())
+	for _, e := range g.Edges() {
+		b.AddEdge(e.U, e.V, e.W)
+	}
+	for i := 0; i < len(leaves); i++ {
+		for j := i + 1; j < len(leaves); j++ {
+			b.AddUnitEdge(leaves[i], leaves[j])
+		}
+	}
+	return GammaTreePair{
+		G:      g,
+		GPrime: b.Build(),
+		Root:   0,
+		Gamma:  gamma,
+		Depth:  depth,
+		Leaves: leaves,
+	}
+}

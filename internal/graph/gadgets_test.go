@@ -1,0 +1,110 @@
+package graph
+
+import "testing"
+
+func TestFigureI1A(t *testing.T) {
+	f := FigureI1A(32)
+	if f.G.N() != 32 || f.G.M() != 32 {
+		t.Fatalf("variant (a) must be the 32-cycle, got n=%d m=%d", f.G.N(), f.G.M())
+	}
+	if f.CoreV != 2 || f.ForcedIn != -1 {
+		t.Fatalf("variant (a) metadata wrong: %+v", f)
+	}
+	for v := 0; v < f.G.N(); v++ {
+		if f.G.Degree(v) != 2 {
+			t.Fatalf("cycle node %d degree %d", v, f.G.Degree(v))
+		}
+	}
+}
+
+func TestFigureI1BStructure(t *testing.T) {
+	n := 40
+	f := FigureI1B(n)
+	if f.G.N() != n {
+		t.Fatalf("n=%d", f.G.N())
+	}
+	if f.G.M() != n { // unicyclic: cycle of n/2 + path, edges = cycleLen + pathLen
+		t.Fatalf("m=%d, want %d (unicyclic)", f.G.M(), n)
+	}
+	// exactly one degree-1 node: the free end
+	ones := 0
+	for v := 0; v < n; v++ {
+		if f.G.Degree(v) == 1 {
+			ones++
+		}
+	}
+	if ones != 1 {
+		t.Fatalf("free ends = %d, want 1", ones)
+	}
+	if f.G.Degree(f.V) != 2 {
+		t.Fatalf("v has degree %d, want 2", f.G.Degree(f.V))
+	}
+	if f.CoreV != 1 {
+		t.Fatalf("CoreV=%v", f.CoreV)
+	}
+	// FreeEndDist is the distance from V to node n-1
+	d := f.G.BFSDistances(f.V)
+	if d[n-1] != f.FreeEndDist {
+		t.Fatalf("FreeEndDist=%d, BFS says %d", f.FreeEndDist, d[n-1])
+	}
+	if f.FreeEndDist < n/8 {
+		t.Fatalf("free end too close (%d); gadget loses its Ω(n) property", f.FreeEndDist)
+	}
+}
+
+func TestFigureI1CDiffersFromBAtV(t *testing.T) {
+	b := FigureI1B(40)
+	c := FigureI1C(40)
+	if b.V == c.V {
+		t.Fatal("variants (b) and (c) must distinguish different nodes")
+	}
+	if c.CoreV != 1 {
+		t.Fatalf("CoreV=%v", c.CoreV)
+	}
+	if c.ForcedIn != c.V-1 {
+		t.Fatalf("forced in-neighbor %d, want %d", c.ForcedIn, c.V-1)
+	}
+	// The local views must agree: both v's are interior path nodes with two
+	// degree-2 neighbors.
+	for _, f := range []FigI1{b, c} {
+		for _, a := range f.G.Adj(f.V) {
+			if f.G.Degree(a.To) != 2 {
+				t.Fatalf("neighbor %d of v has degree %d", a.To, f.G.Degree(a.To))
+			}
+		}
+	}
+}
+
+func TestGammaTreePair(t *testing.T) {
+	p := NewGammaTreePair(3, 3)
+	if p.G.N() != 1+3+9+27 {
+		t.Fatalf("tree n=%d", p.G.N())
+	}
+	if p.GPrime.N() != p.G.N() {
+		t.Fatal("G and G' must share the node set")
+	}
+	wantExtra := 27 * 26 / 2
+	if p.GPrime.M() != p.G.M()+wantExtra {
+		t.Fatalf("G' edges = %d, want %d", p.GPrime.M(), p.G.M()+wantExtra)
+	}
+	if len(p.Leaves) != 27 {
+		t.Fatalf("leaves=%d", len(p.Leaves))
+	}
+	// G is a tree: m = n-1; root degree = γ.
+	if p.G.M() != p.G.N()-1 {
+		t.Fatal("G not a tree")
+	}
+	if p.G.Degree(p.Root) != 3 {
+		t.Fatalf("root degree %d", p.G.Degree(p.Root))
+	}
+	// every leaf in G' has degree 1 (tree edge) + 26 (clique)
+	for _, l := range p.Leaves {
+		if p.GPrime.Degree(l) != 27 {
+			t.Fatalf("leaf degree in G' = %d, want 27", p.GPrime.Degree(l))
+		}
+	}
+	// The paper requires ≥ 2γ+1 leaves.
+	if len(p.Leaves) < 2*p.Gamma+1 {
+		t.Fatal("too few leaves for the lower-bound argument")
+	}
+}

@@ -1,0 +1,309 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file contains deterministic (seeded) generators for the synthetic
+// workloads used throughout the experiment suite. All generators return
+// simple graphs (no parallel edges, no self-loops) unless stated otherwise.
+
+// Path returns the path graph P_n (n-1 unit edges).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddUnitEdge(v, v+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph C_n (n unit edges, n ≥ 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: Cycle requires n >= 3")
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddUnitEdge(v, (v+1)%n)
+	}
+	return b.Build()
+}
+
+// Clique returns the complete graph K_n with unit weights.
+func Clique(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddUnitEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// Star returns the star K_{1,n-1}; node 0 is the hub.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddUnitEdge(0, v)
+	}
+	return b.Build()
+}
+
+// Grid returns the rows×cols 4-neighbor grid with unit weights.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddUnitEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddUnitEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// CompleteKaryTree returns the complete γ-ary tree of the given depth
+// (depth 0 = single root). Node 0 is the root; children of v are stored
+// contiguously. It also returns the slice of leaf IDs.
+func CompleteKaryTree(gamma, depth int) (*Graph, []NodeID) {
+	if gamma < 1 {
+		panic("graph: CompleteKaryTree requires gamma >= 1")
+	}
+	// n = 1 + γ + γ² + ... + γ^depth
+	n := 1
+	levelSize := 1
+	for d := 0; d < depth; d++ {
+		levelSize *= gamma
+		n += levelSize
+	}
+	b := NewBuilder(n)
+	// Level-order numbering: children of node v are γ·v+1 .. γ·v+γ.
+	for v := 0; v < n; v++ {
+		for c := 1; c <= gamma; c++ {
+			ch := gamma*v + c
+			if ch < n {
+				b.AddUnitEdge(v, ch)
+			}
+		}
+	}
+	firstLeaf := n - levelSize
+	leaves := make([]NodeID, 0, levelSize)
+	for v := firstLeaf; v < n; v++ {
+		leaves = append(leaves, v)
+	}
+	return b.Build(), leaves
+}
+
+// ErdosRenyi returns G(n,p) with unit weights, seeded deterministically.
+// It uses the Batagelj–Brandes geometric-skip method, so the cost is
+// proportional to the number of edges generated.
+func ErdosRenyi(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	if p <= 0 || n < 2 {
+		return b.Build()
+	}
+	if p >= 1 {
+		return Clique(n)
+	}
+	lp := math.Log1p(-p)
+	// Enumerate candidate pairs (u,v) with v < u in lexicographic order,
+	// jumping ahead by geometric skips.
+	u, v := 1, -1
+	for u < n {
+		r := rng.Float64()
+		skip := int(math.Log1p(-r)/lp) + 1
+		v += skip
+		for u < n && v >= u {
+			v -= u
+			u++
+		}
+		if u < n {
+			b.AddUnitEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert returns an n-node preferential-attachment graph where each
+// new node attaches m edges to existing nodes chosen proportionally to their
+// degree (the classical BA process with a repeated-endpoints list). Unit
+// weights; no self-loops; parallel picks are rejected.
+func BarabasiAlbert(n, m int, seed int64) *Graph {
+	if m < 1 || n < m+1 {
+		panic("graph: BarabasiAlbert requires 1 <= m < n")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	// endpoint multiset: each edge contributes both endpoints
+	targets := make([]int, 0, 2*m*n)
+	// seed with a clique-ish core of m+1 nodes
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			b.AddUnitEdge(u, v)
+			targets = append(targets, u, v)
+		}
+	}
+	chosen := make(map[int]bool, m)
+	for v := m + 1; v < n; v++ {
+		for k := range chosen {
+			delete(chosen, k)
+		}
+		for len(chosen) < m {
+			t := targets[rng.Intn(len(targets))]
+			if t != v {
+				chosen[t] = true
+			}
+		}
+		for t := range chosen {
+			b.AddUnitEdge(v, t)
+			targets = append(targets, v, t)
+		}
+	}
+	return b.Build()
+}
+
+// RMAT returns a graph sampled from the recursive-matrix model with
+// partition probabilities (a,b,c,d), a+b+c+d = 1, over 2^scale nodes and
+// edgeFactor·2^scale edges. Duplicate and self-loop samples are rejected and
+// re-drawn (up to a bound), so the result is simple. Unit weights.
+func RMAT(scale int, edgeFactor int, a, b, c float64, seed int64) *Graph {
+	n := 1 << scale
+	m := edgeFactor * n
+	d := 1 - a - b - c
+	if d < -1e-9 || a < 0 || b < 0 || c < 0 {
+		panic("graph: RMAT probabilities must be non-negative and sum to <= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bl := NewBuilder(n)
+	seen := make(map[[2]int]bool, m)
+	attempts := 0
+	for added := 0; added < m && attempts < 20*m; attempts++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		bl.AddUnitEdge(u, v)
+		added++
+	}
+	return bl.Build()
+}
+
+// PlantedPartition returns a graph with k communities of size csize each;
+// intra-community edges appear with probability pin and inter-community
+// edges with probability pout. Unit weights. Community of node v is
+// v / csize.
+func PlantedPartition(k, csize int, pin, pout float64, seed int64) *Graph {
+	n := k * csize
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pout
+			if u/csize == v/csize {
+				p = pin
+			}
+			if rng.Float64() < p {
+				b.AddUnitEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Caveman returns k cliques of size csize connected in a ring by single
+// edges (a high-diameter, locally dense graph: useful for showing diameter
+// independence).
+func Caveman(k, csize int) *Graph {
+	if k < 3 || csize < 2 {
+		panic("graph: Caveman requires k >= 3, csize >= 2")
+	}
+	n := k * csize
+	b := NewBuilder(n)
+	for c := 0; c < k; c++ {
+		base := c * csize
+		for u := 0; u < csize; u++ {
+			for v := u + 1; v < csize; v++ {
+				b.AddUnitEdge(base+u, base+v)
+			}
+		}
+		next := ((c + 1) % k) * csize
+		b.AddUnitEdge(base, next+1) // bridge into the next cave
+
+	}
+	return b.Build()
+}
+
+// Preset names a synthetic stand-in for a real-world graph family.
+// The full version of the paper evaluates on real-world graphs; those are
+// not redistributable here, so presets give seeded generators whose size and
+// degree skew mimic well-known datasets (see DESIGN.md §2).
+type Preset string
+
+// Named presets.
+const (
+	PresetCAHepTh   Preset = "ca-hepth-like"    // ~10k nodes, collaboration-like
+	PresetDBLP      Preset = "dblp-like"        // communities, moderate density
+	PresetASSkitter Preset = "as-skitter-like"  // heavy-tailed RMAT
+	PresetRoadNet   Preset = "roadnet-like"     // high diameter grid-ish
+	PresetLiveJ     Preset = "livejournal-like" // BA with larger m (scaled down)
+)
+
+// AllPresets lists every named preset.
+func AllPresets() []Preset {
+	return []Preset{PresetCAHepTh, PresetDBLP, PresetASSkitter, PresetRoadNet, PresetLiveJ}
+}
+
+// FromPreset instantiates the named preset at the given scale multiplier
+// (scale 1 ≈ 8–16k nodes; use smaller scales in -short tests).
+func FromPreset(p Preset, scale int, seed int64) (*Graph, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	switch p {
+	case PresetCAHepTh:
+		return BarabasiAlbert(8000*scale, 3, seed), nil
+	case PresetDBLP:
+		return PlantedPartition(40*scale, 50, 0.3, 0.001, seed), nil
+	case PresetASSkitter:
+		s := 13
+		for (1 << s) < 8192*scale {
+			s++
+		}
+		return RMAT(s, 8, 0.57, 0.19, 0.19, seed), nil
+	case PresetRoadNet:
+		side := 90 * scale
+		return Grid(side, side), nil
+	case PresetLiveJ:
+		return BarabasiAlbert(10000*scale, 8, seed), nil
+	default:
+		return nil, fmt.Errorf("graph: unknown preset %q", p)
+	}
+}

@@ -1,0 +1,249 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPathCycleCliqueStar(t *testing.T) {
+	if g := Path(5); g.M() != 4 {
+		t.Fatalf("P5 edges=%d", g.M())
+	}
+	if g := Cycle(5); g.M() != 5 {
+		t.Fatalf("C5 edges=%d", g.M())
+	}
+	if g := Clique(6); g.M() != 15 {
+		t.Fatalf("K6 edges=%d", g.M())
+	}
+	if g := Star(7); g.M() != 6 || g.Degree(0) != 6 {
+		t.Fatalf("star wrong")
+	}
+	if g := Grid(3, 4); g.M() != 3*3+2*4 {
+		t.Fatalf("grid edges=%d, want 17", g.M())
+	}
+}
+
+func TestCompleteKaryTree(t *testing.T) {
+	g, leaves := CompleteKaryTree(3, 2)
+	if g.N() != 13 { // 1 + 3 + 9
+		t.Fatalf("n=%d, want 13", g.N())
+	}
+	if g.M() != 12 {
+		t.Fatalf("m=%d, want 12 (tree)", g.M())
+	}
+	if len(leaves) != 9 {
+		t.Fatalf("leaves=%d, want 9", len(leaves))
+	}
+	for _, l := range leaves {
+		if g.Degree(l) != 1 {
+			t.Fatalf("leaf %d has degree %d", l, g.Degree(l))
+		}
+	}
+	if g.Degree(0) != 3 {
+		t.Fatalf("root degree=%d", g.Degree(0))
+	}
+	if d, conn := g.Diameter(); !conn || d != 4 {
+		t.Fatalf("diameter=%d conn=%v, want 4", d, conn)
+	}
+}
+
+func TestErdosRenyiDeterministicAndSane(t *testing.T) {
+	a := ErdosRenyi(200, 0.05, 42)
+	b := ErdosRenyi(200, 0.05, 42)
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different edge counts %d vs %d", a.M(), b.M())
+	}
+	c := ErdosRenyi(200, 0.05, 43)
+	if a.M() == c.M() {
+		// extremely unlikely; tolerate but check edges differ
+		same := true
+		for i := range a.Edges() {
+			if a.Edges()[i] != c.Edges()[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+	// expected edges ≈ p·n(n-1)/2 = 995; allow ±35%
+	exp := 0.05 * 200 * 199 / 2
+	if float64(a.M()) < exp*0.65 || float64(a.M()) > exp*1.35 {
+		t.Fatalf("edge count %d far from expectation %.0f", a.M(), exp)
+	}
+	// no self-loops, no duplicates
+	seen := map[[2]int]bool{}
+	for _, e := range a.Edges() {
+		if e.U == e.V {
+			t.Fatal("self-loop in ER graph")
+		}
+		k := [2]int{min(e.U, e.V), max(e.U, e.V)}
+		if seen[k] {
+			t.Fatalf("duplicate edge %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestErdosRenyiEdgeCases(t *testing.T) {
+	if g := ErdosRenyi(10, 0, 1); g.M() != 0 {
+		t.Fatal("p=0 must be edgeless")
+	}
+	if g := ErdosRenyi(6, 1, 1); g.M() != 15 {
+		t.Fatal("p=1 must be complete")
+	}
+	if g := ErdosRenyi(1, 0.5, 1); g.M() != 0 {
+		t.Fatal("single node must be edgeless")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(300, 3, 7)
+	if g.N() != 300 {
+		t.Fatalf("n=%d", g.N())
+	}
+	wantM := 3*2/1 + (300-4)*3 // seed clique K4 = 6 edges, then 3 per node
+	if g.M() != 6+(300-4)*3 {
+		t.Fatalf("m=%d, want %d", g.M(), wantM)
+	}
+	for _, e := range g.Edges() {
+		if e.U == e.V {
+			t.Fatal("self-loop in BA graph")
+		}
+	}
+	// determinism
+	h := BarabasiAlbert(300, 3, 7)
+	if h.M() != g.M() {
+		t.Fatal("BA not deterministic")
+	}
+	// heavy tail: max degree should exceed 3× average
+	avg := 2 * float64(g.M()) / float64(g.N())
+	maxd := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) > maxd {
+			maxd = g.Degree(v)
+		}
+	}
+	if float64(maxd) < 2*avg {
+		t.Fatalf("BA max degree %d suspiciously small (avg %.1f)", maxd, avg)
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(8, 4, 0.57, 0.19, 0.19, 5)
+	if g.N() != 256 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if g.M() < 256*3 { // rejection may drop a few, but most should land
+		t.Fatalf("m=%d too small", g.M())
+	}
+	for _, e := range g.Edges() {
+		if e.U == e.V {
+			t.Fatal("self-loop in RMAT graph")
+		}
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	g := PlantedPartition(4, 20, 0.5, 0.01, 3)
+	if g.N() != 80 {
+		t.Fatalf("n=%d", g.N())
+	}
+	intra, inter := 0, 0
+	for _, e := range g.Edges() {
+		if e.U/20 == e.V/20 {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra < inter {
+		t.Fatalf("communities not denser: intra=%d inter=%d", intra, inter)
+	}
+}
+
+func TestCaveman(t *testing.T) {
+	g := Caveman(5, 6)
+	if g.N() != 30 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if g.M() != 5*15+5 {
+		t.Fatalf("m=%d, want 80", g.M())
+	}
+	if d, conn := g.Diameter(); !conn || d < 5 {
+		t.Fatalf("caveman should be connected with large diameter, got d=%d conn=%v", d, conn)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, p := range AllPresets() {
+		if p == PresetRoadNet || p == PresetLiveJ || p == PresetCAHepTh || p == PresetASSkitter {
+			continue // too large for unit tests; covered by benchmarks
+		}
+		g, err := FromPreset(p, 1, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if g.N() == 0 || g.M() == 0 {
+			t.Fatalf("%s: degenerate graph", p)
+		}
+	}
+	if _, err := FromPreset("nope", 1, 1); err == nil {
+		t.Fatal("unknown preset must error")
+	}
+}
+
+func TestWeightModels(t *testing.T) {
+	g := Cycle(50)
+	models := []WeightModel{
+		UnitWeights{},
+		UniformWeights{Lo: 1, Hi: 10},
+		TwoValued{K: 7, P: 0.5},
+		ZipfWeights{S: 1.5, Cap: 100},
+	}
+	for _, m := range models {
+		w := m.Weights(g, 9)
+		if len(w) != g.M() {
+			t.Fatalf("%s: %d weights for %d edges", m.Name(), len(w), g.M())
+		}
+		for _, x := range w {
+			if x < 1 || x != math.Trunc(x) {
+				t.Fatalf("%s: weight %v not a positive integer", m.Name(), x)
+			}
+		}
+		// determinism
+		w2 := m.Weights(g, 9)
+		for i := range w {
+			if w[i] != w2[i] {
+				t.Fatalf("%s: not deterministic", m.Name())
+			}
+		}
+		h := Apply(g, m, 9)
+		if h.M() != g.M() {
+			t.Fatalf("%s: Apply changed edge count", m.Name())
+		}
+	}
+	tv := TwoValued{K: 7, P: 1}.Weights(g, 1)
+	for _, x := range tv {
+		if x != 7 {
+			t.Fatal("TwoValued with P=1 must always pick K")
+		}
+	}
+	if MaxWeight(Apply(g, TwoValued{K: 7, P: 0.5}, 2)) != 7 {
+		t.Fatal("MaxWeight wrong")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in a whitespace-separated text format:
+//
+//	# comment lines start with '#'
+//	n <numNodes>
+//	<u> <v> <w>
+//
+// The weight column is omitted for unit-weight edges when compact is true.
+func WriteEdgeList(w io.Writer, g *Graph, compact bool) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		var err error
+		if compact && e.W == 1 {
+			_, err = fmt.Fprintf(bw, "%d %d\n", e.U, e.V)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d %g\n", e.U, e.V, e.W)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Lines beginning
+// with '#' or '%' are comments. If no "n" header is present, the node count
+// is one plus the largest endpoint mentioned. A missing weight column means
+// weight 1.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	n := -1
+	type rawEdge struct {
+		u, v int
+		w    float64
+	}
+	var edges []rawEdge
+	maxID := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "n" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: malformed node-count header", lineNo)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			n = v
+			continue
+		}
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("graph: line %d: expected 'u v [w]'", lineNo)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative node ID", lineNo)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, rawEdge{u, v, w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = maxID + 1
+	}
+	if maxID >= n {
+		return nil, fmt.Errorf("graph: node ID %d exceeds declared count %d", maxID, n)
+	}
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.u, e.v, e.w)
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := NewBuilder(5).
+		AddEdge(0, 1, 1).
+		AddEdge(1, 2, 2.5).
+		AddEdge(3, 3, 4). // self-loop
+		Build()
+	for _, compact := range []bool{true, false} {
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g, compact); err != nil {
+			t.Fatal(err)
+		}
+		h, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.N() != g.N() || h.M() != g.M() || h.TotalWeight() != g.TotalWeight() {
+			t.Fatalf("round trip mismatch (compact=%v): n=%d m=%d w=%v",
+				compact, h.N(), h.M(), h.TotalWeight())
+		}
+		for i, e := range g.Edges() {
+			if h.Edges()[i] != e {
+				t.Fatalf("edge %d differs: %v vs %v", i, h.Edges()[i], e)
+			}
+		}
+	}
+}
+
+func TestReadEdgeListWithoutHeader(t *testing.T) {
+	in := "# comment\n% other comment\n0 1\n1 4 2.5\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 {
+		t.Fatalf("inferred n=%d, want 5", g.N())
+	}
+	if g.M() != 2 || g.TotalWeight() != 3.5 {
+		t.Fatalf("m=%d w=%v", g.M(), g.TotalWeight())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	bad := []string{
+		"n x\n",
+		"0\n",
+		"0 1 2 3\n",
+		"a b\n",
+		"0 b\n",
+		"0 1 w\n",
+		"-1 2\n",
+		"n 2\n0 5\n",
+	}
+	for _, in := range bad {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestReadEdgeListEmpty(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("n 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 0 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+}

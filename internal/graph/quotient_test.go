@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuotientComposition: removing B1 then B2 must equal removing B1 ∪ B2
+// in one step (total weight and per-node degree agree under the combined
+// relabeling) — the property the diminishingly-dense decomposition relies
+// on when it peels layer after layer.
+func TestQuotientComposition(t *testing.T) {
+	check := func(seed int64, m1, m2 uint32) bool {
+		g := ErdosRenyi(18, 0.3, seed)
+		b1 := make([]bool, 18)
+		for v := 0; v < 18; v++ {
+			b1[v] = m1&(1<<uint(v)) != 0
+		}
+		q1, orig1 := g.Quotient(b1)
+		// choose B2 among the remaining nodes
+		b2 := make([]bool, q1.N())
+		for i := range b2 {
+			b2[i] = m2&(1<<uint(i%32)) != 0
+		}
+		q12, orig12 := q1.Quotient(b2)
+
+		// combined one-step removal
+		both := make([]bool, 18)
+		copy(both, b1)
+		for i, in := range b2 {
+			if in {
+				both[orig1[i]] = true
+			}
+		}
+		qb, origb := g.Quotient(both)
+
+		if q12.N() != qb.N() {
+			return false
+		}
+		if math.Abs(q12.TotalWeight()-qb.TotalWeight()) > 1e-9 {
+			return false
+		}
+		// same surviving original IDs, same degrees
+		for i := 0; i < q12.N(); i++ {
+			if orig1[orig12[i]] != origb[i] {
+				return false
+			}
+			if math.Abs(q12.WeightedDegree(i)-qb.WeightedDegree(i)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuotientDegreePreservation: the quotient preserves every surviving
+// node's weighted degree (edges into B become self-loops of the same
+// weight) — the exact reason β can only grow when passing to the quotient
+// in Lemma III.3.
+func TestQuotientDegreePreservation(t *testing.T) {
+	check := func(seed int64, mask uint32) bool {
+		g := BarabasiAlbert(20, 2, seed)
+		inB := make([]bool, 20)
+		for v := 0; v < 20; v++ {
+			inB[v] = mask&(1<<uint(v)) != 0
+		}
+		q, orig := g.Quotient(inB)
+		for i := 0; i < q.N(); i++ {
+			if math.Abs(q.WeightedDegree(i)-g.WeightedDegree(orig[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

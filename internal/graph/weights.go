@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+)
+
+// WeightModel assigns weights to the edges of a generated graph. The paper's
+// algorithms accept arbitrary non-negative weights; the NP-hardness of
+// min-max orientation already holds for weights in {1,k} (Section I-B),
+// which TwoValued reproduces.
+type WeightModel interface {
+	// Weights returns one weight per edge of g, deterministically from seed.
+	Weights(g *Graph, seed int64) []float64
+	// Name identifies the model in experiment tables.
+	Name() string
+}
+
+// UnitWeights assigns weight 1 to every edge.
+type UnitWeights struct{}
+
+// Weights implements WeightModel.
+func (UnitWeights) Weights(g *Graph, _ int64) []float64 {
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// Name implements WeightModel.
+func (UnitWeights) Name() string { return "unit" }
+
+// UniformWeights assigns integer weights uniform in [Lo, Hi].
+type UniformWeights struct {
+	Lo, Hi int
+}
+
+// Weights implements WeightModel.
+func (u UniformWeights) Weights(g *Graph, seed int64) []float64 {
+	if u.Hi < u.Lo || u.Lo < 0 {
+		panic("graph: UniformWeights requires 0 <= Lo <= Hi")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = float64(u.Lo + rng.Intn(u.Hi-u.Lo+1))
+	}
+	return w
+}
+
+// Name implements WeightModel.
+func (u UniformWeights) Name() string { return "uniform" }
+
+// TwoValued assigns weight K with probability P and weight 1 otherwise —
+// the {1,k} weight class for which the orientation problem is NP-hard.
+type TwoValued struct {
+	K float64
+	P float64
+}
+
+// Weights implements WeightModel.
+func (t TwoValued) Weights(g *Graph, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, g.M())
+	for i := range w {
+		if rng.Float64() < t.P {
+			w[i] = t.K
+		} else {
+			w[i] = 1
+		}
+	}
+	return w
+}
+
+// Name implements WeightModel.
+func (t TwoValued) Name() string { return "two-valued" }
+
+// ZipfWeights assigns heavy-tailed integer weights: w = ⌊min(Cap, Zipf(s))⌋.
+type ZipfWeights struct {
+	S   float64 // exponent > 1
+	Cap uint64  // maximum value
+}
+
+// Weights implements WeightModel.
+func (z ZipfWeights) Weights(g *Graph, seed int64) []float64 {
+	s := z.S
+	if s <= 1 {
+		s = 1.5
+	}
+	capV := z.Cap
+	if capV == 0 {
+		capV = 1 << 10
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, s, 1, capV)
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = float64(zipf.Uint64() + 1)
+	}
+	return w
+}
+
+// Name implements WeightModel.
+func (z ZipfWeights) Name() string { return "zipf" }
+
+// Apply returns a copy of g re-weighted by the model.
+func Apply(g *Graph, m WeightModel, seed int64) *Graph {
+	return g.WithWeights(m.Weights(g, seed))
+}
+
+// MaxWeight returns the maximum edge weight of g (0 for edgeless graphs).
+func MaxWeight(g *Graph) float64 {
+	mw := 0.0
+	for _, e := range g.Edges() {
+		mw = math.Max(mw, e.W)
+	}
+	return mw
+}

@@ -1,0 +1,233 @@
+package hyper
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distkcore/internal/core"
+	"distkcore/internal/graph"
+)
+
+func feq(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b)) }
+
+// fromGraph lifts an ordinary graph into a rank-2 hypergraph.
+func fromGraph(g *graph.Graph) *Hypergraph {
+	edges := make([]Edge, 0, g.M())
+	for _, e := range g.Edges() {
+		if e.IsLoop() {
+			edges = append(edges, Edge{Nodes: []int{e.U}, W: e.W})
+		} else {
+			edges = append(edges, Edge{Nodes: []int{e.U, e.V}, W: e.W})
+		}
+	}
+	h, err := NewHypergraph(g.N(), edges)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// randomHypergraph samples m hyperedges of size 2..rank with integer
+// weights.
+func randomHypergraph(n, m, rank int, seed int64) *Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		k := 2 + rng.Intn(rank-1)
+		perm := rng.Perm(n)[:k]
+		edges = append(edges, Edge{Nodes: perm, W: float64(1 + rng.Intn(4))})
+	}
+	h, err := NewHypergraph(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewHypergraph(3, []Edge{{Nodes: nil, W: 1}}); err == nil {
+		t.Fatal("empty edge must error")
+	}
+	if _, err := NewHypergraph(3, []Edge{{Nodes: []int{0, 3}, W: 1}}); err == nil {
+		t.Fatal("out-of-range node must error")
+	}
+	if _, err := NewHypergraph(3, []Edge{{Nodes: []int{0, 0}, W: 1}}); err == nil {
+		t.Fatal("repeated node must error")
+	}
+	if _, err := NewHypergraph(3, []Edge{{Nodes: []int{0}, W: -1}}); err == nil {
+		t.Fatal("negative weight must error")
+	}
+	h, err := NewHypergraph(4, []Edge{{Nodes: []int{0, 1, 2}, W: 2}, {Nodes: []int{2, 3}, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rank() != 3 || h.N() != 4 || h.M() != 2 {
+		t.Fatalf("metadata wrong: %d %d %d", h.Rank(), h.N(), h.M())
+	}
+	if !feq(h.Degree(2), 3) {
+		t.Fatalf("deg(2)=%v", h.Degree(2))
+	}
+}
+
+func TestRank2MatchesGraphMachinery(t *testing.T) {
+	// On rank-2 hypergraphs everything must coincide with the graph path.
+	for seed := int64(0); seed < 3; seed++ {
+		g := graph.ErdosRenyi(40, 0.15, seed)
+		h := fromGraph(g)
+		// coreness
+		hc := h.Coreness()
+		gc := coreRefFromGraph(g)
+		for v := 0; v < g.N(); v++ {
+			if !feq(hc[v], gc[v]) {
+				t.Fatalf("coreness(%d): hyper %v, graph %v", v, hc[v], gc[v])
+			}
+		}
+		// surviving numbers per round
+		for _, T := range []int{1, 3, 6} {
+			hb, _ := h.SurvivingNumbers(T)
+			gb := survRefFromGraph(g, T)
+			for v := 0; v < g.N(); v++ {
+				if !feq(hb[v], gb[v]) {
+					t.Fatalf("T=%d β(%d): hyper %v, graph %v", T, v, hb[v], gb[v])
+				}
+			}
+		}
+	}
+}
+
+func TestSurvivingNumbersConvergeToCoreness(t *testing.T) {
+	h := randomHypergraph(30, 60, 4, 7)
+	want := h.Coreness()
+	got, rounds := h.SurvivingNumbers(0)
+	if rounds > h.N() {
+		t.Fatalf("convergence took %d rounds", rounds)
+	}
+	for v := 0; v < h.N(); v++ {
+		if !feq(got[v], want[v]) {
+			t.Fatalf("fixpoint b(%d)=%v, coreness %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestSurvivingNumbersBounds(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		h := randomHypergraph(25, 50, 4, seed)
+		c := h.Coreness()
+		_, rho := h.Densest()
+		for _, T := range []int{1, 2, 4, 8} {
+			b, _ := h.SurvivingNumbers(T)
+			bound := h.GuaranteeAtT(T) * rho
+			for v := 0; v < h.N(); v++ {
+				if b[v] < c[v]-1e-9 {
+					t.Fatalf("seed %d T=%d: β(%d)=%v < c=%v", seed, T, v, b[v], c[v])
+				}
+				if b[v] > bound+1e-6 {
+					t.Fatalf("seed %d T=%d: β(%d)=%v > rank·n^{1/T}·ρ* = %v",
+						seed, T, v, b[v], bound)
+				}
+			}
+		}
+	}
+}
+
+func TestDensestKnownHypergraphs(t *testing.T) {
+	// Three nodes in one heavy triangle-hyperedge, plus a pendant pair.
+	h, err := NewHypergraph(5, []Edge{
+		{Nodes: []int{0, 1, 2}, W: 6},
+		{Nodes: []int{3, 4}, W: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	member, rho := h.Densest()
+	if !feq(rho, 2) { // 6/3
+		t.Fatalf("rho=%v, want 2", rho)
+	}
+	for v := 0; v < 3; v++ {
+		if !member[v] {
+			t.Fatalf("node %d missing", v)
+		}
+	}
+	if member[3] || member[4] {
+		t.Fatal("pendant pair must be excluded")
+	}
+}
+
+func TestDensestAgainstBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		h := randomHypergraph(10, 14, 3, seed)
+		_, rho := h.Densest()
+		best := 0.0
+		member := make([]bool, 10)
+		for mask := 1; mask < 1<<10; mask++ {
+			for v := 0; v < 10; v++ {
+				member[v] = mask&(1<<v) != 0
+			}
+			if d := h.SubsetDensity(member); d > best {
+				best = d
+			}
+		}
+		if !feq(rho, best) {
+			t.Fatalf("seed %d: flow rho=%v, brute force %v", seed, rho, best)
+		}
+	}
+}
+
+func TestSingletonEdges(t *testing.T) {
+	// A singleton hyperedge acts like a self-loop: it supports its node at
+	// the node's own level forever.
+	h, err := NewHypergraph(2, []Edge{
+		{Nodes: []int{0}, W: 5},
+		{Nodes: []int{0, 1}, W: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := h.Coreness()
+	if c[0] < 5 {
+		t.Fatalf("coreness(0)=%v, want ≥ 5", c[0])
+	}
+	b, _ := h.SurvivingNumbers(0)
+	if !feq(b[0], c[0]) {
+		t.Fatalf("fixpoint %v vs coreness %v", b[0], c[0])
+	}
+}
+
+// --- helpers duplicating the graph-side references ---
+
+func coreRefFromGraph(g *graph.Graph) []float64 {
+	n := g.N()
+	removed := make([]bool, n)
+	deg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.WeightedDegree(v)
+	}
+	core := make([]float64, n)
+	running := 0.0
+	for k := 0; k < n; k++ {
+		minV, minD := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !removed[v] && deg[v] < minD {
+				minV, minD = v, deg[v]
+			}
+		}
+		removed[minV] = true
+		if minD > running {
+			running = minD
+		}
+		core[minV] = running
+		for _, a := range g.Adj(minV) {
+			if a.To != minV && !removed[a.To] {
+				deg[a.To] -= a.W
+			}
+		}
+	}
+	return core
+}
+
+func survRefFromGraph(g *graph.Graph, T int) []float64 {
+	// independent reference: the core package's centralized simulation
+	res := core.Run(g, core.Options{Rounds: T})
+	return res.B
+}

@@ -1,0 +1,272 @@
+// Package orient turns the auxiliary subsets {N_v} maintained by the
+// compact elimination procedure (Algorithm 2, Theorem I.2) into a concrete
+// edge orientation, and provides the competing baselines used by
+// experiments E3 and E9.
+//
+// Terminology follows the paper: an orientation assigns every edge to one
+// endpoint; the objective is the maximum weighted in-degree (load). The
+// densest-subset LP is the dual of the orientation LP, so ρ* lower-bounds
+// the optimum for arbitrary weights, and the paper's sets satisfy
+// Σ_{e∈N_v} w_e ≤ β_T(v) ≤ 2n^{1/T}·ρ*, giving the approximation factor.
+package orient
+
+import (
+	"math"
+
+	"distkcore/internal/core"
+	"distkcore/internal/exact"
+	"distkcore/internal/graph"
+)
+
+// FromElimination resolves the auxiliary sets produced by
+// core.Run(..., TrackAux: true) into a feasible orientation. By
+// Lemma III.11 every edge appears in N_u or N_v; an edge claimed by both
+// endpoints is assigned — in the paper's "one more round of communication"
+// — to the endpoint with the smaller surviving number (more headroom is at
+// the larger one, but either choice preserves the per-node bound
+// load(v) ≤ Σ_{e∈N_v} w_e ≤ β_T(v)); ties go to the smaller ID.
+//
+// If an edge is claimed by neither endpoint (impossible when the procedure
+// ran with Λ = ℝ; can happen only through API misuse), it is assigned to
+// its smaller-ID endpoint and counted in the returned diagnostics.
+func FromElimination(g *graph.Graph, res *core.Result) (exact.Orientation, Diagnostics) {
+	return FromEliminationPolicy(g, res, PreferSmallerB)
+}
+
+// ConflictPolicy selects the owner of an edge claimed by both endpoints.
+// Every policy preserves load(v) ≤ Σ_{e∈N_v} w_e ≤ β_T(v), so the
+// Theorem I.2 guarantee is policy-independent (experiment E13 measures the
+// practical differences).
+type ConflictPolicy string
+
+// Available policies.
+const (
+	// PreferSmallerB gives the edge to the endpoint with the smaller
+	// surviving number (the default used by FromElimination).
+	PreferSmallerB ConflictPolicy = "smaller-beta"
+	// PreferLargerB gives it to the endpoint with the larger surviving
+	// number.
+	PreferLargerB ConflictPolicy = "larger-beta"
+	// PreferSmallerID gives it to the smaller node ID.
+	PreferSmallerID ConflictPolicy = "smaller-id"
+	// PreferLighterLoad greedily gives it to the endpoint whose running
+	// load is currently lighter (requires a sequential pass; in the LOCAL
+	// model this would be approximated with one extra round of load
+	// exchange).
+	PreferLighterLoad ConflictPolicy = "lighter-load"
+)
+
+// FromEliminationPolicy is FromElimination with an explicit conflict
+// policy.
+func FromEliminationPolicy(g *graph.Graph, res *core.Result, pol ConflictPolicy) (exact.Orientation, Diagnostics) {
+	if res.AuxEdges == nil {
+		panic("orient: result has no auxiliary sets; run core with TrackAux")
+	}
+	m := g.M()
+	claimedBy := make([][2]graph.NodeID, m) // up to two claimants per edge
+	nclaims := make([]int, m)
+	for v, edges := range res.AuxEdges {
+		for _, eid := range edges {
+			if nclaims[eid] < 2 {
+				claimedBy[eid][nclaims[eid]] = v
+			}
+			nclaims[eid]++
+		}
+	}
+	var diag Diagnostics
+	owner := make([]graph.NodeID, m)
+	loads := make([]float64, g.N())
+	for eid, e := range g.Edges() {
+		switch nclaims[eid] {
+		case 0:
+			diag.Unclaimed++
+			owner[eid] = minID(e.U, e.V)
+		case 1:
+			owner[eid] = claimedBy[eid][0]
+		default:
+			diag.Conflicts++
+			owner[eid] = resolve(pol, claimedBy[eid][0], claimedBy[eid][1], res.B, loads)
+		}
+		loads[owner[eid]] += e.W
+	}
+	return exact.Orientation{Owner: owner}, diag
+}
+
+func resolve(pol ConflictPolicy, a, b graph.NodeID, beta, loads []float64) graph.NodeID {
+	switch pol {
+	case PreferLargerB:
+		switch {
+		case beta[a] > beta[b]:
+			return a
+		case beta[b] > beta[a]:
+			return b
+		}
+	case PreferSmallerID:
+		return minID(a, b)
+	case PreferLighterLoad:
+		switch {
+		case loads[a] < loads[b]:
+			return a
+		case loads[b] < loads[a]:
+			return b
+		}
+	default: // PreferSmallerB
+		switch {
+		case beta[a] < beta[b]:
+			return a
+		case beta[b] < beta[a]:
+			return b
+		}
+	}
+	return minID(a, b)
+}
+
+// Diagnostics reports conflict-resolution statistics for FromElimination.
+type Diagnostics struct {
+	// Conflicts is the number of edges claimed by both endpoints.
+	Conflicts int
+	// Unclaimed is the number of edges claimed by neither endpoint
+	// (always 0 when Λ = ℝ, per Lemma III.11).
+	Unclaimed int
+}
+
+func minID(a, b graph.NodeID) graph.NodeID {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Approximate runs the full pipeline of Theorem I.2: Algorithm 2 with
+// auxiliary tracking for T rounds followed by conflict resolution. It
+// returns the orientation, its maximum load, and the per-node surviving
+// numbers (whose maximum upper-bounds the load).
+func Approximate(g *graph.Graph, T int) (exact.Orientation, float64, []float64) {
+	res := core.Run(g, core.Options{Rounds: T, TrackAux: true})
+	o, _ := FromElimination(g, res)
+	return o, o.MaxLoad(g), res.B
+}
+
+// TwoPhaseResult is the outcome of the Barenboim–Elkin-style baseline.
+type TwoPhaseResult struct {
+	O exact.Orientation
+	// MaxLoad is the achieved objective.
+	MaxLoad float64
+	// PeelRounds is the number of peeling rounds phase 2 used.
+	PeelRounds int
+	// ForcedPeels counts rounds in which no node met its threshold and the
+	// minimum-degree node was peeled unconditionally (a liveness fallback
+	// that the oracle variant never needs).
+	ForcedPeels int
+}
+
+// TwoPhase is the baseline discussed in Section I-A: Barenboim and Elkin's
+// forest-decomposition approach adapted to min-max orientation. Phase 1
+// estimates local density; phase 2 peels nodes whose remaining degree is at
+// most 2(1+eps) times their estimate, letting every peeled node take
+// ownership of its remaining incident edges.
+//
+// With useOracle = true the estimate is the true ρ* at every node ("if the
+// maximum arboricity is known by every node", achieving (2+ε)-quality but
+// requiring Ω(D) rounds to learn ρ* in reality). With useOracle = false the
+// estimate is the node's surviving number from T rounds of Algorithm 2,
+// degrading the guarantee to 2(2+ε) — the comparison made by the paper.
+func TwoPhase(g *graph.Graph, eps float64, T int, useOracle bool) TwoPhaseResult {
+	if eps <= 0 {
+		panic("orient: TwoPhase requires eps > 0")
+	}
+	n := g.N()
+	thr := make([]float64, n)
+	if useOracle {
+		rho := exact.MaxDensity(g)
+		for v := range thr {
+			thr[v] = 2 * (1 + eps) * rho
+		}
+	} else {
+		res := core.Run(g, core.Options{Rounds: T})
+		for v := range thr {
+			thr[v] = 2 * (1 + eps) * res.B[v]
+		}
+	}
+
+	alive := make([]bool, n)
+	remaining := 0
+	deg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		alive[v] = true
+		deg[v] = g.WeightedDegree(v)
+		remaining++
+	}
+	owner := make([]graph.NodeID, g.M())
+	for i := range owner {
+		owner[i] = -1
+	}
+	var out TwoPhaseResult
+	for remaining > 0 {
+		out.PeelRounds++
+		var peel []graph.NodeID
+		for v := 0; v < n; v++ {
+			if alive[v] && deg[v] <= thr[v]+1e-12 {
+				peel = append(peel, v)
+			}
+		}
+		if len(peel) == 0 {
+			// Local estimates can stall the peel; force the global minimum
+			// (a centralized fallback, counted so experiments can report it).
+			out.ForcedPeels++
+			minV, minD := -1, math.Inf(1)
+			for v := 0; v < n; v++ {
+				if alive[v] && deg[v] < minD {
+					minV, minD = v, deg[v]
+				}
+			}
+			peel = append(peel, minV)
+		}
+		inPeel := make(map[graph.NodeID]bool, len(peel))
+		for _, v := range peel {
+			inPeel[v] = true
+		}
+		for _, v := range peel {
+			for _, a := range g.Adj(v) {
+				if owner[a.EdgeID] >= 0 {
+					continue
+				}
+				if a.To == v {
+					owner[a.EdgeID] = v
+					continue
+				}
+				if !alive[a.To] {
+					continue // already assigned when a.To peeled
+				}
+				if inPeel[a.To] {
+					// both endpoints peel this round: smaller ID takes it
+					owner[a.EdgeID] = minID(v, a.To)
+				} else {
+					owner[a.EdgeID] = v
+				}
+			}
+		}
+		for _, v := range peel {
+			alive[v] = false
+			remaining--
+		}
+		for _, v := range peel {
+			for _, a := range g.Adj(v) {
+				if a.To != v && alive[a.To] {
+					deg[a.To] -= a.W
+				}
+			}
+		}
+	}
+	// Safety: any edge still unowned (cannot happen: when the second
+	// endpoint peels it assigns all unassigned incident edges).
+	for i, o := range owner {
+		if o < 0 {
+			e := g.Edges()[i]
+			owner[i] = minID(e.U, e.V)
+		}
+	}
+	out.O = exact.Orientation{Owner: owner}
+	out.MaxLoad = out.O.MaxLoad(g)
+	return out
+}

@@ -1,0 +1,83 @@
+package orient
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distkcore/internal/core"
+	"distkcore/internal/graph"
+)
+
+// TestTwoPhaseNeverForcesPeels documents a structural fact: with the
+// phase-1 estimates b_v ≥ c(v) and threshold 2(1+ε)·b_v, the minimum-
+// degree node of any remaining subgraph R satisfies deg_R(v) = mindeg(R) ≤
+// c(v) ≤ b_v < thr_v, so at least one node peels voluntarily every round —
+// the liveness fallback is dead code on well-formed inputs.
+func TestTwoPhaseNeverForcesPeels(t *testing.T) {
+	for name, g := range workloads() {
+		for _, eps := range []float64{0.1, 0.5, 1} {
+			T := core.TForEpsilon(g.N(), eps)
+			r := TwoPhase(g, eps, T, false)
+			if r.ForcedPeels != 0 {
+				t.Fatalf("%s eps=%v: %d forced peels", name, eps, r.ForcedPeels)
+			}
+			ro := TwoPhase(g, eps, T, true)
+			if ro.ForcedPeels != 0 {
+				t.Fatalf("%s eps=%v oracle: %d forced peels", name, eps, ro.ForcedPeels)
+			}
+		}
+	}
+}
+
+func TestAllPoliciesFeasibleAndBounded(t *testing.T) {
+	check := func(seed int64, tRaw uint8) bool {
+		T := int(tRaw%5) + 1
+		g := graph.ErdosRenyi(30, 0.2, seed)
+		res := core.Run(g, core.Options{Rounds: T, TrackAux: true})
+		for _, pol := range []ConflictPolicy{
+			PreferSmallerB, PreferLargerB, PreferSmallerID, PreferLighterLoad,
+		} {
+			o, diag := FromEliminationPolicy(g, res, pol)
+			if !o.Feasible(g) || diag.Unclaimed != 0 {
+				return false
+			}
+			loads := o.Loads(g)
+			for v := 0; v < g.N(); v++ {
+				if loads[v] > res.B[v]+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoliciesOnlyDifferOnConflictedEdges(t *testing.T) {
+	g := graph.Clique(12)
+	res := core.Run(g, core.Options{Rounds: 2, TrackAux: true})
+	a, diagA := FromEliminationPolicy(g, res, PreferSmallerID)
+	b, diagB := FromEliminationPolicy(g, res, PreferLargerB)
+	if diagA.Conflicts != diagB.Conflicts {
+		t.Fatal("conflict counts must not depend on the policy")
+	}
+	conflicted := make(map[int]bool)
+	claims := make(map[int]int)
+	for _, edges := range res.AuxEdges {
+		for _, eid := range edges {
+			claims[eid]++
+		}
+	}
+	for eid, c := range claims {
+		if c > 1 {
+			conflicted[eid] = true
+		}
+	}
+	for eid := range a.Owner {
+		if a.Owner[eid] != b.Owner[eid] && !conflicted[eid] {
+			t.Fatalf("edge %d unconflicted but owners differ", eid)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package quantize implements the threshold sets Λ of Section III-C of the
+// paper. The compact elimination procedure may round every transmitted
+// surviving number down to the next element of Λ; choosing Λ to be the
+// powers of (1+λ) bounds the message size to log2|Λ∩[w_min, n·w_max]| bits
+// per value at the cost of an extra (1+λ) factor in the approximation
+// guarantee (Corollary III.10). Λ = ℝ (no rounding, λ = 0) is required when
+// the auxiliary orientation sets N_v are maintained (Lemma III.11).
+package quantize
+
+import (
+	"fmt"
+	"math"
+)
+
+// Lambda is a threshold set: a downward-rounding discretization of ℝ⁺.
+type Lambda interface {
+	// RoundDown maps x to max{b ∈ Λ : b ≤ x}. Values ≤ 0 map to 0 and
+	// +Inf passes through (the initial surviving number is +∞).
+	RoundDown(x float64) float64
+	// Bits returns the number of bits needed per transmitted value when
+	// all values fall in [lo, hi] (0 < lo ≤ hi).
+	Bits(lo, hi float64) int
+	// Exact reports whether Λ = ℝ (no information loss).
+	Exact() bool
+	// Name identifies the set in experiment tables.
+	Name() string
+}
+
+// Reals is Λ = ℝ: the identity rounding. Message values are full float64
+// words (64 bits). This is the λ = 0 convention of the paper.
+type Reals struct{}
+
+// RoundDown implements Lambda.
+func (Reals) RoundDown(x float64) float64 { return x }
+
+// Bits implements Lambda.
+func (Reals) Bits(lo, hi float64) int { return 64 }
+
+// Exact implements Lambda.
+func (Reals) Exact() bool { return true }
+
+// Name implements Lambda.
+func (Reals) Name() string { return "reals" }
+
+// PowerGrid is Λ = {0} ∪ {(1+λ)^k : k ∈ ℤ}: geometric rounding with ratio
+// 1+λ, λ > 0.
+type PowerGrid struct {
+	L float64 // λ > 0
+}
+
+// NewPowerGrid returns the powers-of-(1+λ) threshold set.
+func NewPowerGrid(lambda float64) PowerGrid {
+	if lambda <= 0 {
+		panic("quantize: PowerGrid requires lambda > 0")
+	}
+	return PowerGrid{L: lambda}
+}
+
+// RoundDown implements Lambda.
+func (p PowerGrid) RoundDown(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if math.IsInf(x, 1) {
+		return x
+	}
+	base := 1 + p.L
+	k := math.Floor(math.Log(x) / math.Log(base))
+	v := math.Pow(base, k)
+	// Guard against floating-point drift on exact powers: allow a 1-ulp-ish
+	// relative slack so that grid points are fixed points of RoundDown.
+	const rel = 1e-12
+	for v > x*(1+rel) {
+		v /= base
+	}
+	for v*base <= x*(1+rel) {
+		v *= base
+	}
+	return v
+}
+
+// Bits implements Lambda: values in [lo,hi] occupy at most
+// ⌈log2(log_{1+λ}(hi/lo) + 2)⌉ bits (grid index, plus codes for 0 and ∞).
+func (p PowerGrid) Bits(lo, hi float64) int {
+	if lo <= 0 || hi < lo {
+		return 64
+	}
+	levels := math.Log(hi/lo)/math.Log(1+p.L) + 2
+	b := int(math.Ceil(math.Log2(levels + 2)))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Exact implements Lambda.
+func (p PowerGrid) Exact() bool { return false }
+
+// Name implements Lambda.
+func (p PowerGrid) Name() string { return fmt.Sprintf("pow(1+%g)", p.L) }

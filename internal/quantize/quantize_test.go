@@ -1,0 +1,114 @@
+package quantize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRealsIsIdentity(t *testing.T) {
+	r := Reals{}
+	for _, x := range []float64{0, 0.5, 1, 3.14159, 1e12, math.Inf(1)} {
+		if r.RoundDown(x) != x {
+			t.Fatalf("Reals changed %v", x)
+		}
+	}
+	if !r.Exact() || r.Bits(1, 100) != 64 {
+		t.Fatal("Reals metadata wrong")
+	}
+}
+
+func TestPowerGridRoundDown(t *testing.T) {
+	p := NewPowerGrid(1.0) // powers of 2
+	cases := map[float64]float64{
+		1:    1,
+		1.5:  1,
+		2:    2,
+		3:    2,
+		4:    4,
+		7.99: 4,
+		8:    8,
+		0.7:  0.5,
+		0.5:  0.5,
+	}
+	for x, want := range cases {
+		if got := p.RoundDown(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("RoundDown(%v)=%v, want %v", x, got, want)
+		}
+	}
+	if p.RoundDown(0) != 0 || p.RoundDown(-3) != 0 {
+		t.Fatal("non-positive values must map to 0")
+	}
+	if !math.IsInf(p.RoundDown(math.Inf(1)), 1) {
+		t.Fatal("infinity must pass through")
+	}
+}
+
+func TestPowerGridProperties(t *testing.T) {
+	grids := []PowerGrid{NewPowerGrid(0.01), NewPowerGrid(0.1), NewPowerGrid(0.5), NewPowerGrid(2)}
+	check := func(raw uint32) bool {
+		x := float64(raw%1000000)/100 + 0.001
+		for _, p := range grids {
+			y := p.RoundDown(x)
+			if y > x*(1+1e-11) {
+				return false // must round down
+			}
+			if y*(1+p.L) <= x*(1-1e-12) {
+				return false // must be the *largest* grid point ≤ x
+			}
+			// idempotent
+			if math.Abs(p.RoundDown(y)-y) > 1e-12*y {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerGridMonotone(t *testing.T) {
+	p := NewPowerGrid(0.25)
+	prev := -1.0
+	for x := 0.01; x < 100; x *= 1.07 {
+		y := p.RoundDown(x)
+		if y < prev {
+			t.Fatalf("RoundDown not monotone at %v", x)
+		}
+		prev = y
+	}
+}
+
+func TestBitsShrinkWithCoarserGrid(t *testing.T) {
+	fine := NewPowerGrid(0.01)
+	coarse := NewPowerGrid(0.5)
+	if fine.Bits(1, 1e6) <= coarse.Bits(1, 1e6) {
+		t.Fatalf("finer grid must need more bits: fine=%d coarse=%d",
+			fine.Bits(1, 1e6), coarse.Bits(1, 1e6))
+	}
+	if coarse.Bits(1, 1e6) >= 64 {
+		t.Fatal("quantized values should be far below 64 bits")
+	}
+	if b := coarse.Bits(0, 10); b != 64 {
+		t.Fatalf("degenerate range must fall back to 64 bits, got %d", b)
+	}
+}
+
+func TestNewPowerGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lambda <= 0 must panic")
+		}
+	}()
+	NewPowerGrid(0)
+}
+
+func TestNames(t *testing.T) {
+	if (Reals{}).Name() != "reals" {
+		t.Fatal("Reals name")
+	}
+	if NewPowerGrid(0.1).Name() == "" {
+		t.Fatal("PowerGrid name empty")
+	}
+}

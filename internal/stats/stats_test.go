@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.P50 != 2.5 {
+		t.Fatalf("P50=%v", s.P50)
+	}
+	if s.P99 < s.P90 || s.P90 < s.P50 {
+		t.Fatal("quantiles not monotone")
+	}
+}
+
+func TestSummarizeHandlesNaNAndEmpty(t *testing.T) {
+	s := Summarize([]float64{math.NaN(), 2, math.NaN()})
+	if s.N != 1 || s.Mean != 2 {
+		t.Fatalf("NaN filtering broken: %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary %+v", z)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	r := Ratios([]float64{2, 0, 3}, []float64{1, 0, 0})
+	if r[0] != 2 {
+		t.Fatal("plain ratio")
+	}
+	if r[1] != 1 {
+		t.Fatal("0/0 must be 1")
+	}
+	if !math.IsNaN(r[2]) {
+		t.Fatal("x/0 must be NaN")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	Ratios([]float64{1}, []float64{1, 2})
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1.0)
+	tb.AddRow("b", 0.123456)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines=%d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatal("header missing")
+	}
+	if !strings.Contains(out, "0.1235") {
+		t.Fatalf("float formatting: %s", out)
+	}
+	if !strings.Contains(out, "alpha  1") {
+		t.Fatalf("integer-valued float must print bare: %s", out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "name,value\n") {
+		t.Fatalf("csv: %s", csv)
+	}
+	if len(strings.Split(strings.TrimRight(csv, "\n"), "\n")) != 3 {
+		t.Fatalf("csv rows: %s", csv)
+	}
+}
