@@ -49,9 +49,24 @@ type (
 	Orientation = exact.Orientation
 	// Lambda is a message-quantization threshold set (Section III-C).
 	Lambda = quantize.Lambda
-	// Metrics reports communication cost of a distributed run.
+	// Metrics reports communication cost of a synchronous distributed run.
 	Metrics = dist.Metrics
+	// Engine is a pluggable message-passing execution engine; obtain one
+	// from SequentialEngine or ParallelEngine.
+	Engine = dist.Engine
+	// DelayModel drives message delays in the asynchronous simulator.
+	DelayModel = dist.DelayModel
+	// AsyncMetrics reports the cost of an asynchronous run.
+	AsyncMetrics = dist.AsyncMetrics
 )
+
+// SequentialEngine returns the deterministic single-threaded engine — the
+// reference scheduler every protocol is tested against.
+func SequentialEngine() Engine { return dist.SeqEngine{} }
+
+// ParallelEngine returns the goroutine-per-node engine with per-round
+// barriers. It produces executions byte-identical to SequentialEngine's.
+func ParallelEngine() Engine { return dist.ParEngine{} }
 
 // NewBuilder returns a Builder for a graph with n nodes.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
@@ -140,14 +155,49 @@ func WeakDensest(g *Graph, eps float64) *WeakDensestResult {
 
 // RunDistributed executes the compact elimination procedure as a real
 // message-passing protocol (one goroutine per node when parallel is true)
-// and reports communication metrics alongside the result.
+// and reports communication metrics alongside the result. It is shorthand
+// for RunDistributedOn with SequentialEngine or ParallelEngine.
 func RunDistributed(g *Graph, T int, parallel bool) (CorenessResult, Metrics) {
-	var eng dist.Engine = dist.SeqEngine{}
 	if parallel {
-		eng = dist.ParEngine{}
+		return RunDistributedOn(g, T, ParallelEngine())
 	}
+	return RunDistributedOn(g, T, SequentialEngine())
+}
+
+// RunDistributedOn executes the compact elimination procedure on an
+// explicit Engine — the seam future transports (sharded engines, real
+// networks) plug into.
+func RunDistributedOn(g *Graph, T int, eng Engine) (CorenessResult, Metrics) {
 	res, met := core.RunDistributed(g, core.Options{Rounds: T}, eng)
 	return CorenessResult{B: res.B, T: T, Guarantee: core.GuaranteeAtT(g.N(), T)}, met
+}
+
+// RunDistributedQuantized is RunDistributedOn with transmitted values
+// rounded down to the threshold set lam (Section III-C): the Congest-style
+// deployment mode. The returned Metrics price the wire under the same lam,
+// so WireBytes reflects the compressed grid-index encoding (Corollary
+// III.10 bounds the extra approximation cost by a (1+λ) factor).
+func RunDistributedQuantized(g *Graph, T int, lam Lambda, eng Engine) (CorenessResult, Metrics) {
+	res, met := core.RunDistributed(g, core.Options{Rounds: T, Lambda: lam}, eng)
+	return CorenessResult{B: res.B, T: T, Guarantee: core.GuaranteeAtT(g.N(), T)}, met
+}
+
+// WeakDensestDistributed runs the Theorem I.3 pipeline as a real
+// message-passing protocol on eng with γ = 2(1+eps); it returns the same
+// collection as WeakDensest plus the engine's communication metrics.
+func WeakDensestDistributed(g *Graph, eps float64, eng Engine) (*WeakDensestResult, Metrics) {
+	return densest.RunWeakDistributed(g, densest.Config{Gamma: 2 * (1 + eps)}, eng)
+}
+
+// AsyncCoreness runs the elimination in the fully asynchronous model under
+// the given delay model: no rounds, no barriers, convergence to the exact
+// coreness at quiescence (see internal/core's RunAsyncElimination).
+// maxEvents bounds runaway schedules; Quiesced in the returned metrics
+// reports whether the run converged (false means the budget cut it off
+// with messages still in flight).
+func AsyncCoreness(g *Graph, d DelayModel, maxEvents int64) ([]float64, AsyncMetrics) {
+	res, met := core.RunAsyncElimination(g, d, maxEvents)
+	return res.B, met
 }
 
 // RoundsFor returns T = ⌈log_{1+eps} n⌉, the budget all three algorithms
@@ -155,7 +205,8 @@ func RunDistributed(g *Graph, T int, parallel bool) (CorenessResult, Metrics) {
 func RoundsFor(n int, eps float64) int { return core.TForEpsilon(n, eps) }
 
 // PowerGrid returns the powers-of-(1+lambda) quantization set for
-// bandwidth-limited (Congest-style) deployments; pass it to nothing here —
-// it is consumed by the lower-level core.Options API — but is re-exported
-// so callers can compute message sizes.
+// bandwidth-limited (Congest-style) deployments — pass it to
+// RunDistributedQuantized, which both rounds transmitted values to it and
+// prices Metrics.WireBytes under it (internal/codec's grid-index
+// encoding).
 func PowerGrid(lambda float64) Lambda { return quantize.NewPowerGrid(lambda) }

@@ -1,0 +1,3 @@
+module distkcore
+
+go 1.21

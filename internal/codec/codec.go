@@ -30,20 +30,24 @@ const (
 func EncodeValue(dst []byte, lam quantize.Lambda, x float64) []byte {
 	switch l := lam.(type) {
 	case quantize.PowerGrid:
-		var code uint64
-		switch {
-		case x == 0:
-			code = codeZero
-		case math.IsInf(x, 1):
-			code = codeInf
-		default:
-			k := gridIndex(l, x)
-			code = codeBase + zigzag(k)
-		}
-		return binary.AppendUvarint(dst, code)
+		return binary.AppendUvarint(dst, valueCode(l, x))
 	default:
 		// Λ = ℝ: full 64-bit word.
 		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+	}
+}
+
+// valueCode returns the uvarint code point EncodeValue ships for x under a
+// PowerGrid — the single definition both the encoder and the size
+// accounting (ValueSize) share.
+func valueCode(l quantize.PowerGrid, x float64) uint64 {
+	switch {
+	case x == 0:
+		return codeZero
+	case math.IsInf(x, 1):
+		return codeInf
+	default:
+		return codeBase + zigzag(gridIndex(l, x))
 	}
 }
 
@@ -102,4 +106,34 @@ func EncodedSize(lam quantize.Lambda, sender int, x float64) int {
 	buf := binary.AppendUvarint(nil, uint64(sender))
 	buf = EncodeValue(buf, lam, x)
 	return len(buf)
+}
+
+// SizeOf is EncodedSize computed arithmetically, without building the
+// encoding — the allocation-free form the dist engines use to account
+// Metrics.WireBytes on every message.
+func SizeOf(lam quantize.Lambda, sender int, x float64) int {
+	return UvarintSize(uint64(sender)) + ValueSize(lam, x)
+}
+
+// ValueSize returns the encoded size in bytes of one value under lam.
+func ValueSize(lam quantize.Lambda, x float64) int {
+	switch l := lam.(type) {
+	case quantize.PowerGrid:
+		return UvarintSize(valueCode(l, x))
+	default:
+		return 8
+	}
+}
+
+// SintSize returns the length in bytes of the zigzag-varint encoding of k.
+func SintSize(k int64) int { return UvarintSize(zigzag(k)) }
+
+// UvarintSize returns the length in bytes of the uvarint encoding of x.
+func UvarintSize(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
 }

@@ -88,6 +88,31 @@ func TestDecodeErrors(t *testing.T) {
 	}
 }
 
+func TestSizeOfMatchesActualEncoding(t *testing.T) {
+	// The arithmetic size accounting must never drift from the bytes the
+	// encoder actually produces, for any Λ, sender and value.
+	lams := []quantize.Lambda{
+		quantize.Reals{},
+		quantize.NewPowerGrid(0.01),
+		quantize.NewPowerGrid(0.1),
+		quantize.NewPowerGrid(0.5),
+		quantize.NewPowerGrid(2),
+	}
+	senders := []int{0, 1, 127, 128, 100_000}
+	values := []float64{0, 1e-6, 0.25, 1, 2, 3.7, 150, 1e6, 1e12, math.Inf(1)}
+	for _, lam := range lams {
+		for _, s := range senders {
+			for _, raw := range values {
+				x := lam.RoundDown(raw)
+				if got, want := SizeOf(lam, s, x), EncodedSize(lam, s, x); got != want {
+					t.Fatalf("%s sender=%d x=%v: SizeOf=%d, encoded=%d",
+						lam.Name(), s, x, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestZigZag(t *testing.T) {
 	for _, k := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40)} {
 		if got := unzigzag(zigzag(k)); got != k {

@@ -21,6 +21,12 @@ type asyncElimination struct {
 	b    float64
 	nbrB map[graph.NodeID]float64
 	sink *AsyncResult
+
+	// reusable recompute buffers (the async twin of the scratch slices the
+	// synchronous simulator hoists out of its round loop); ws is fixed at
+	// init since edge weights never change
+	bs, ws  []float64
+	scratch []int
 }
 
 // AsyncResult collects the quiescent state of an asynchronous run.
@@ -51,9 +57,14 @@ func RunAsyncElimination(g *graph.Graph, d dist.DelayModel, maxEvents int64) (*A
 }
 
 func (p *asyncElimination) InitAsync(c *dist.AsyncCtx) {
-	p.nbrB = make(map[graph.NodeID]float64, len(c.Neighbors()))
-	for _, a := range c.Neighbors() {
+	arcs := c.Neighbors()
+	p.nbrB = make(map[graph.NodeID]float64, len(arcs))
+	p.bs = make([]float64, 0, len(arcs))
+	p.ws = make([]float64, 0, len(arcs))
+	p.scratch = make([]int, 0, len(arcs))
+	for _, a := range arcs {
 		p.nbrB[a.To] = math.Inf(1)
+		p.ws = append(p.ws, a.W)
 	}
 	// Initial value: the local degree (what one synchronous round yields —
 	// no information is needed from neighbors to know it).
@@ -71,18 +82,15 @@ func (p *asyncElimination) OnMessage(c *dist.AsyncCtx, m dist.Message) {
 
 func (p *asyncElimination) recompute(c *dist.AsyncCtx) {
 	p.sink.Recomputes++
-	arcs := c.Neighbors()
-	bs := make([]float64, 0, len(arcs))
-	ws := make([]float64, 0, len(arcs))
-	for _, a := range arcs {
+	p.bs = p.bs[:0]
+	for _, a := range c.Neighbors() {
 		if a.To == p.id {
-			bs = append(bs, p.b)
+			p.bs = append(p.bs, p.b)
 		} else {
-			bs = append(bs, p.nbrB[a.To])
+			p.bs = append(p.bs, p.nbrB[a.To])
 		}
-		ws = append(ws, a.W)
 	}
-	nb := UpdateValue(bs, ws, make([]int, 0, len(arcs)))
+	nb := UpdateValue(p.bs, p.ws, p.scratch)
 	if nb < p.b {
 		p.b = nb
 		c.Broadcast(dist.Message{F0: p.b})

@@ -53,6 +53,9 @@ func RunDistributed(g *graph.Graph, opt Options, eng dist.Engine) (*Result, dist
 	if opt.TrackAux && !lam.Exact() {
 		panic("core: TrackAux requires the exact threshold set Λ = ℝ (Lemma III.11)")
 	}
+	// Price the wire under the same Λ the protocol rounds to, so
+	// Metrics.WireBytes always reflects the quantized encoding (E6).
+	eng = eng.WithWireLambda(lam)
 	sink := &DistResult{B: make([]float64, g.N())}
 	if opt.TrackAux {
 		sink.AuxEdges = make([][]int, g.N())

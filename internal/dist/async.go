@@ -1,0 +1,178 @@
+package dist
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"distkcore/internal/graph"
+)
+
+// AsyncProgram is the code one node runs in the fully asynchronous model:
+// no rounds, no barriers. InitAsync runs once at virtual time 0; OnMessage
+// runs once per delivered message, in delivery order. Quiescence — an
+// empty event queue — ends the run.
+type AsyncProgram interface {
+	InitAsync(*AsyncCtx)
+	OnMessage(c *AsyncCtx, m Message)
+}
+
+// AsyncFactory builds the AsyncProgram of node v.
+type AsyncFactory func(v graph.NodeID) AsyncProgram
+
+// DelayModel drives the message delays of RunAsync: a message sent at
+// virtual time τ is delivered at τ + Base + Jitter·U, with U drawn
+// uniformly from [0,1) by a generator seeded with Seed. Jitter = 0 gives
+// deterministic delays (and, with Base = 1, a behaviour that mirrors the
+// synchronous schedule); any fixed Seed gives a reproducible run.
+//
+// Note delays are per message: two messages on the same link may overtake
+// each other when Jitter > 0, so programs must tolerate reordering.
+type DelayModel struct {
+	Base   float64
+	Jitter float64
+	Seed   int64
+}
+
+func (d DelayModel) sample(rng *rand.Rand) float64 {
+	dl := d.Base
+	if d.Jitter > 0 {
+		dl += d.Jitter * rng.Float64()
+	}
+	return dl
+}
+
+// AsyncMetrics reports the cost of an asynchronous run.
+type AsyncMetrics struct {
+	// Events counts delivered messages (OnMessage invocations).
+	Events int64
+	// Messages counts sent messages (a Broadcast to d neighbors counts d).
+	Messages int64
+	// VirtualTime is the delivery time of the last processed event — the
+	// makespan of the run under the delay model.
+	VirtualTime float64
+	// Quiesced reports that the event queue drained: every sent message
+	// was delivered. False means the maxEvents budget cut the run off with
+	// messages still in flight.
+	Quiesced bool
+}
+
+// AsyncCtx is a node's runtime handle in the asynchronous model. Like Ctx
+// it is only valid during the hook invocation that received it.
+type AsyncCtx struct {
+	id    graph.NodeID
+	arcs  []graph.Arc
+	peers []graph.NodeID
+	wdeg  float64
+	now   float64
+	run   *asyncRun
+}
+
+// ID returns the node this context belongs to.
+func (c *AsyncCtx) ID() graph.NodeID { return c.id }
+
+// Neighbors returns the node's adjacency list (see Ctx.Neighbors).
+func (c *AsyncCtx) Neighbors() []graph.Arc { return c.arcs }
+
+// WeightedDegree returns deg(v) = Σ_{e : v ∈ e} w(e) — the value a node
+// can announce before hearing from anyone (one synchronous round's worth
+// of knowledge for free).
+func (c *AsyncCtx) WeightedDegree() float64 { return c.wdeg }
+
+// Now returns the current virtual time: 0 during InitAsync, the delivery
+// time of the message being handled during OnMessage.
+func (c *AsyncCtx) Now() float64 { return c.now }
+
+// Broadcast sends m to every distinct neighbor (self excluded); each copy
+// gets its own sampled delay.
+func (c *AsyncCtx) Broadcast(m Message) {
+	m.From = c.id
+	for _, p := range c.peers {
+		c.run.post(c.now, p, m)
+	}
+}
+
+// Send sends m to the neighbor `to`; non-neighbors panic.
+func (c *AsyncCtx) Send(to graph.NodeID, m Message) {
+	if !isPeerOf(c.peers, to) {
+		panic("dist: Send target is not a neighbor")
+	}
+	m.From = c.id
+	c.run.post(c.now, to, m)
+}
+
+// event is one scheduled delivery.
+type event struct {
+	at  float64
+	seq int64 // posting order: the deterministic tie-breaker
+	to  graph.NodeID
+	m   Message
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}
+
+type asyncRun struct {
+	q   eventQueue
+	rng *rand.Rand
+	d   DelayModel
+	seq int64
+	met AsyncMetrics
+}
+
+func (r *asyncRun) post(now float64, to graph.NodeID, m Message) {
+	r.met.Messages++
+	heap.Push(&r.q, event{at: now + r.d.sample(r.rng), seq: r.seq, to: to, m: m})
+	r.seq++
+}
+
+// RunAsync executes an asynchronous protocol on g under the delay model d:
+// it initializes every node at virtual time 0 (in node order) and then
+// delivers events in (time, posting order) until the queue is empty or
+// maxEvents messages have been delivered. The run is a deterministic
+// function of (g, protocol, d) — same Seed, same execution — which is what
+// makes asynchronous experiments (E15) reproducible.
+func RunAsync(g *graph.Graph, factory AsyncFactory, d DelayModel, maxEvents int64) AsyncMetrics {
+	n := g.N()
+	run := &asyncRun{rng: rand.New(rand.NewSource(d.Seed)), d: d}
+	progs := make([]AsyncProgram, n)
+	ctxs := make([]*AsyncCtx, n)
+	for v := 0; v < n; v++ {
+		ctxs[v] = &AsyncCtx{
+			id:    v,
+			arcs:  g.Adj(v),
+			peers: peersOf(g, v),
+			wdeg:  g.WeightedDegree(v),
+			run:   run,
+		}
+		progs[v] = factory(v)
+	}
+	for v := 0; v < n; v++ {
+		progs[v].InitAsync(ctxs[v])
+	}
+	for run.q.Len() > 0 && run.met.Events < maxEvents {
+		ev := heap.Pop(&run.q).(event)
+		run.met.Events++
+		run.met.VirtualTime = ev.at
+		c := ctxs[ev.to]
+		c.now = ev.at
+		progs[ev.to].OnMessage(c, ev.m)
+	}
+	run.met.Quiesced = run.q.Len() == 0
+	return run.met
+}

@@ -1,0 +1,265 @@
+// Package dist is the message-passing runtime the distributed algorithms of
+// the paper run on. It deliberately exposes a very small surface, fixed by
+// its call sites in internal/core and internal/densest:
+//
+//   - the synchronous side — a Program (per-node state machine with Init and
+//     Round hooks), a Ctx handed to every hook (topology queries plus
+//     Broadcast/Send/Halt), and an Engine that drives all n programs in
+//     lock-step rounds. Two engines are provided: SeqEngine, a deterministic
+//     single-threaded scheduler, and ParEngine, one goroutine per node with
+//     per-round barriers. Both produce byte-identical executions, so every
+//     protocol property can be tested on the cheap engine and trusted on the
+//     parallel one.
+//
+//   - the asynchronous side — an AsyncProgram (InitAsync/OnMessage hooks),
+//     an AsyncCtx, and RunAsync, a seeded event-queue simulator driven by a
+//     DelayModel. See async.go.
+//
+// Timing model of the synchronous side (the LOCAL/Congest model of
+// Section II of the paper): Init runs at round 0; a message sent during
+// round t is delivered at the start of round t+1; Round(c, inbox) is called
+// once per round on every node that has not halted, whether or not its
+// inbox is empty. The inbox is ordered by sender ID (ties by send order),
+// which is what makes the two engines agree execution-for-execution.
+//
+// Communication accounting (Metrics.Words, Metrics.WireBytes) flows through
+// internal/quantize and internal/codec so that the Congest-model bandwidth
+// claims are measurable — see wire.go and experiment E6.
+package dist
+
+import (
+	"sort"
+	"sync"
+
+	"distkcore/internal/graph"
+	"distkcore/internal/quantize"
+)
+
+// Message is the unit of communication between neighboring nodes. The
+// payload fields are protocol-defined: Kind tags the message type in
+// multi-phase protocols, I0 carries one integer (a node ID, a slot index),
+// F0 carries one scalar (a surviving number), and Vec carries a vector
+// payload (tree aggregation arrays). From is stamped by the runtime on
+// send; programs never set it.
+//
+// Receivers must treat a Message — including Vec, which Broadcast shares
+// across all recipients — as read-only.
+type Message struct {
+	Kind uint8
+	From graph.NodeID
+	I0   int
+	F0   float64
+	Vec  []float64
+}
+
+// Words returns the number of payload words the message occupies: one for
+// the scalar slot (Kind/From/I0 are O(log n)-bit addressing overhead,
+// accounted separately by the wire codec) plus one per Vec entry. Summed
+// into Metrics.Words, so that Words × quantize.Lambda.Bits bounds the
+// protocol's information volume.
+func (m Message) Words() int { return 1 + len(m.Vec) }
+
+// Metrics reports the communication cost of a synchronous run.
+type Metrics struct {
+	// Rounds is the number of rounds executed (Init is round 0 and is not
+	// counted).
+	Rounds int
+	// Messages counts point-to-point messages: a Broadcast to d distinct
+	// neighbors counts d.
+	Messages int64
+	// Words counts transmitted payload words (Message.Words per message).
+	Words int64
+	// WireBytes is the concrete wire volume of the run under the engine's
+	// threshold set (internal/codec encoding; Λ = ℝ when unset).
+	WireBytes int64
+	// Halted reports whether every node halted before the round budget ran
+	// out (false means the engine cut the run off at maxRounds).
+	Halted bool
+}
+
+// Program is the code one node runs in a synchronous protocol. The runtime
+// calls Init once at round 0 and then Round once per round t = 1, 2, ...
+// with the messages sent to this node during round t-1, until the program
+// calls Ctx.Halt or the engine's round budget runs out.
+type Program interface {
+	Init(*Ctx)
+	Round(c *Ctx, inbox []Message)
+}
+
+// Factory builds the Program of node v; an Engine calls it once per node.
+type Factory func(v graph.NodeID) Program
+
+// Engine executes a synchronous protocol: it instantiates one Program per
+// node of g via factory and drives them for at most maxRounds rounds,
+// delivering messages between rounds. Implementations must be
+// deterministic: the same (g, protocol, maxRounds) yields the same
+// execution and the same Metrics.
+type Engine interface {
+	Run(g *graph.Graph, factory Factory, maxRounds int) Metrics
+	// WithWireLambda returns a copy of the engine whose Metrics.WireBytes
+	// prices transmitted values under lam (nil means Λ = ℝ). Protocol
+	// drivers call it with the threshold set the protocol actually rounds
+	// to, so value rounding and wire pricing cannot diverge.
+	WithWireLambda(lam quantize.Lambda) Engine
+}
+
+// envelope is a buffered outgoing message.
+type envelope struct {
+	to graph.NodeID
+	m  Message
+}
+
+// Ctx is a node's handle on the runtime, passed to every Program hook. It
+// is only valid during the hook invocation that received it; the slices it
+// returns are shared and must not be modified.
+type Ctx struct {
+	id    graph.NodeID
+	arcs  []graph.Arc
+	peers []graph.NodeID // distinct neighbors, self excluded, ascending
+
+	sim    *sim
+	round  int
+	halted bool
+	out    []envelope
+}
+
+// ID returns the node this context belongs to.
+func (c *Ctx) ID() graph.NodeID { return c.id }
+
+// Neighbors returns the node's adjacency list: one Arc per incident edge
+// (parallel edges appear once each, a self-loop appears once with
+// To == ID()).
+func (c *Ctx) Neighbors() []graph.Arc { return c.arcs }
+
+// Round returns the current round number: 0 during Init, t during the
+// round-t invocation of Round.
+func (c *Ctx) Round() int { return c.round }
+
+// Broadcast sends m to every distinct neighbor (self excluded — a
+// self-loop is local state, not a communication link). Delivery happens at
+// the start of the next round.
+func (c *Ctx) Broadcast(m Message) {
+	m.From = c.id
+	for _, p := range c.peers {
+		c.out = append(c.out, envelope{to: p, m: m})
+	}
+}
+
+// Send sends m to the neighbor `to`. Sending to a non-neighbor (or to
+// itself) panics: the LOCAL model has no routing.
+func (c *Ctx) Send(to graph.NodeID, m Message) {
+	if !isPeerOf(c.peers, to) {
+		panic("dist: Send target is not a neighbor")
+	}
+	m.From = c.id
+	c.out = append(c.out, envelope{to: to, m: m})
+}
+
+// Halt marks the node as terminated: its Round hook will not be called
+// again and messages addressed to it are dropped. Messages it sent during
+// the halting round are still delivered.
+func (c *Ctx) Halt() { c.halted = true }
+
+// Mutex returns a mutex shared by all nodes of the run, for guarding
+// writes to a result sink from program hooks. (The parallel engine runs
+// hooks concurrently; per-node state needs no locking, shared sinks do.)
+func (c *Ctx) Mutex() *sync.Mutex { return &c.sim.mu }
+
+// isPeerOf reports membership in a sorted distinct-peer list (peersOf's
+// output shape, shared by the sync and async contexts).
+func isPeerOf(peers []graph.NodeID, v graph.NodeID) bool {
+	i := sort.SearchInts(peers, v)
+	return i < len(peers) && peers[i] == v
+}
+
+// sim is the engine-shared state of one synchronous run: contexts, mailboxes
+// and metrics. Both engines are thin schedulers over it; deliver() is the
+// single place messages move and metrics accumulate, and it always runs
+// single-threaded (between barriers in the parallel engine), which is what
+// keeps the two engines execution-identical.
+type sim struct {
+	g     *graph.Graph
+	lam   quantize.Lambda
+	progs []Program
+	ctxs  []*Ctx
+	inbox [][]Message
+	alive int
+	mu    sync.Mutex
+	met   Metrics
+}
+
+func newSim(g *graph.Graph, lam quantize.Lambda, factory Factory) *sim {
+	n := g.N()
+	s := &sim{
+		g:     g,
+		lam:   lam,
+		progs: make([]Program, n),
+		ctxs:  make([]*Ctx, n),
+		inbox: make([][]Message, n),
+		alive: n,
+	}
+	if s.lam == nil {
+		s.lam = quantize.Reals{}
+	}
+	for v := 0; v < n; v++ {
+		s.ctxs[v] = &Ctx{id: v, arcs: g.Adj(v), peers: peersOf(g, v), sim: s}
+		s.progs[v] = factory(v)
+	}
+	return s
+}
+
+// peersOf returns the distinct neighbors of v, self excluded, ascending.
+func peersOf(g *graph.Graph, v graph.NodeID) []graph.NodeID {
+	arcs := g.Adj(v)
+	peers := make([]graph.NodeID, 0, len(arcs))
+	for _, a := range arcs {
+		if a.To != v {
+			peers = append(peers, a.To)
+		}
+	}
+	sort.Ints(peers)
+	j := 0
+	for i, p := range peers {
+		if i == 0 || p != peers[j-1] {
+			peers[j] = p
+			j++
+		}
+	}
+	return peers[:j]
+}
+
+// deliver moves every buffered outgoing message into its receiver's inbox
+// for the next round, accounts metrics, and retires freshly halted nodes.
+// Senders are processed in ascending node ID, so inboxes are ordered by
+// sender — the determinism contract of the package.
+func (s *sim) deliver() {
+	for v := range s.inbox {
+		s.inbox[v] = s.inbox[v][:0]
+	}
+	for v := 0; v < len(s.ctxs); v++ {
+		c := s.ctxs[v]
+		for _, env := range c.out {
+			s.met.Messages++
+			s.met.Words += int64(env.m.Words())
+			s.met.WireBytes += int64(wireSize(s.lam, env.m))
+			if !s.ctxs[env.to].halted {
+				s.inbox[env.to] = append(s.inbox[env.to], env.m)
+			}
+		}
+		c.out = c.out[:0]
+	}
+	alive := 0
+	for _, c := range s.ctxs {
+		if !c.halted {
+			alive++
+		}
+	}
+	s.alive = alive
+}
+
+// finish stamps the run-level metrics once the round loop exits.
+func (s *sim) finish(rounds int) Metrics {
+	s.met.Rounds = rounds
+	s.met.Halted = s.alive == 0
+	return s.met
+}

@@ -1,0 +1,78 @@
+package dist
+
+import (
+	"sync"
+
+	"distkcore/internal/graph"
+	"distkcore/internal/quantize"
+)
+
+// ParEngine executes the protocol with one long-lived goroutine per node
+// and a barrier between rounds: within a round all programs step
+// concurrently against the previous round's messages, then the coordinator
+// delivers the buffered sends single-threaded. Because each Program only
+// touches its own state during a step and inboxes are assembled in sender
+// order, the execution — results and Metrics — is byte-identical to
+// SeqEngine's (asserted by TestParEngineMatchesSeqEngine and the dist
+// package's own equivalence tests).
+//
+// The zero value is ready to use; Lam is as in SeqEngine.
+type ParEngine struct {
+	Lam quantize.Lambda
+}
+
+// WithWireLambda implements Engine.
+func (e ParEngine) WithWireLambda(lam quantize.Lambda) Engine {
+	e.Lam = lam
+	return e
+}
+
+// Run implements Engine.
+func (e ParEngine) Run(g *graph.Graph, factory Factory, maxRounds int) Metrics {
+	s := newSim(g, e.Lam, factory)
+	n := g.N()
+
+	// Each node goroutine blocks on its work channel; a round value of 0
+	// means "run Init". The WaitGroup is the per-round barrier: Wait()
+	// also establishes the happens-before edge that lets the coordinator
+	// read contexts and the programs' sink writes safely.
+	work := make([]chan int, n)
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		work[v] = make(chan int, 1)
+		go func(v int) {
+			c := s.ctxs[v]
+			for t := range work[v] {
+				c.round = t
+				if t == 0 {
+					s.progs[v].Init(c)
+				} else {
+					s.progs[v].Round(c, s.inbox[v])
+				}
+				wg.Done()
+			}
+		}(v)
+	}
+	step := func(t int) {
+		for v := 0; v < n; v++ {
+			if s.ctxs[v].halted {
+				continue
+			}
+			wg.Add(1)
+			work[v] <- t
+		}
+		wg.Wait()
+		s.deliver()
+	}
+
+	step(0)
+	rounds := 0
+	for t := 1; t <= maxRounds && s.alive > 0; t++ {
+		rounds = t
+		step(t)
+	}
+	for v := 0; v < n; v++ {
+		close(work[v])
+	}
+	return s.finish(rounds)
+}

@@ -1,0 +1,47 @@
+package dist
+
+import (
+	"distkcore/internal/graph"
+	"distkcore/internal/quantize"
+)
+
+// SeqEngine executes the protocol single-threaded, visiting nodes in
+// ascending ID order within each round. It is the reference scheduler:
+// deterministic, allocation-light, and the semantics ParEngine must
+// reproduce byte for byte.
+//
+// The zero value is ready to use. Lam, when set, prices every transmitted
+// value under that threshold set in Metrics.WireBytes (nil means Λ = ℝ,
+// i.e. full 64-bit words).
+type SeqEngine struct {
+	Lam quantize.Lambda
+}
+
+// WithWireLambda implements Engine.
+func (e SeqEngine) WithWireLambda(lam quantize.Lambda) Engine {
+	e.Lam = lam
+	return e
+}
+
+// Run implements Engine.
+func (e SeqEngine) Run(g *graph.Graph, factory Factory, maxRounds int) Metrics {
+	s := newSim(g, e.Lam, factory)
+	for v := 0; v < g.N(); v++ {
+		s.progs[v].Init(s.ctxs[v])
+	}
+	s.deliver()
+	rounds := 0
+	for t := 1; t <= maxRounds && s.alive > 0; t++ {
+		rounds = t
+		for v := 0; v < g.N(); v++ {
+			c := s.ctxs[v]
+			if c.halted {
+				continue
+			}
+			c.round = t
+			s.progs[v].Round(c, s.inbox[v])
+		}
+		s.deliver()
+	}
+	return s.finish(rounds)
+}

@@ -1,0 +1,28 @@
+package dist
+
+import (
+	"distkcore/internal/codec"
+	"distkcore/internal/quantize"
+)
+
+// wireSize prices one message in bytes for Metrics.WireBytes: the sender ID
+// and the scalar value go through the concrete varint/grid-index encoding
+// of internal/codec under the engine's threshold set (Section III-C: under
+// a powers-of-(1+λ) grid a value is 1–2 bytes, under Λ = ℝ a full 64-bit
+// word), and each Vec entry ships as a full word (the aggregation vectors
+// are exact sums, never quantized). Multi-phase protocol fields follow the
+// usual tagged-format convention that zero-valued fields are elided on the
+// wire (the decoder defaults them): a non-zero Kind costs one tag byte and
+// a non-zero I0 a signed varint — so the single-kind elimination protocol
+// pays nothing for them while the weak-densest phases pay for their leader
+// IDs and slot indices.
+func wireSize(lam quantize.Lambda, m Message) int {
+	n := codec.SizeOf(lam, m.From, m.F0) + 8*len(m.Vec)
+	if m.Kind != 0 {
+		n++
+	}
+	if m.I0 != 0 {
+		n += codec.SintSize(int64(m.I0))
+	}
+	return n
+}

@@ -2,13 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"math"
 
-	"distkcore/internal/codec"
 	"distkcore/internal/core"
 	"distkcore/internal/dist"
 	"distkcore/internal/exact"
-	"distkcore/internal/graph"
 	"distkcore/internal/quantize"
 	"distkcore/internal/stats"
 )
@@ -56,7 +53,7 @@ func runE6(cfg Config) *Report {
 			bits := lam.Bits(1, maxDeg)
 			tbl.AddRow(lam.Name(), bits, maxR, meanR, below, met.Messages,
 				float64(met.Words)*float64(bits)/1e6,
-				float64(wireBytes(w.G, T, lam))/1e6)
+				float64(met.WireBytes)/1e6)
 		}
 		rep.Tables = append(rep.Tables, Table{
 			Name: fmt.Sprintf("%s (n=%d, m=%d, T=%d)", w.Name, w.G.N(), w.G.M(), T),
@@ -66,23 +63,6 @@ func runE6(cfg Config) *Report {
 	rep.Notes = append(rep.Notes,
 		"below-c nodes stay within the (1+λ)⁻¹ slack of Corollary III.10",
 		"bits/value shrinks from 64 to a handful while max β/c grows by ≈(1+λ)",
-		"wire MB uses the varint grid-index codec (internal/codec): the measured bytes confirm the O(log n)-bit Congest claim")
+		"wire MB is the engine-measured Metrics.WireBytes (varint grid-index codec, internal/codec): the measured bytes confirm the O(log n)-bit Congest claim")
 	return rep
-}
-
-// wireBytes replays the protocol's message stream through the concrete
-// codec: in round t each node broadcasts its round-(t-1) value to every
-// neighbor (round 0 = the initial +∞; the final round sends nothing).
-func wireBytes(g *graph.Graph, T int, lam quantize.Lambda) int64 {
-	res := core.Run(g, core.Options{Rounds: T, Lambda: lam, RecordHistory: true})
-	var total int64
-	inf := math.Inf(1)
-	for v := 0; v < g.N(); v++ {
-		deg := int64(g.Degree(v))
-		total += deg * int64(codec.EncodedSize(lam, v, inf)) // initial announcement
-		for t := 0; t < res.Rounds-1; t++ {                  // final value never sent
-			total += deg * int64(codec.EncodedSize(lam, v, res.History[t][v]))
-		}
-	}
-	return total
 }

@@ -151,17 +151,21 @@ func BarabasiAlbert(n, m int, seed int64) *Graph {
 		}
 	}
 	chosen := make(map[int]bool, m)
+	picks := make([]int, 0, m)
 	for v := m + 1; v < n; v++ {
 		for k := range chosen {
 			delete(chosen, k)
 		}
-		for len(chosen) < m {
+		picks = picks[:0]
+		for len(picks) < m {
 			t := targets[rng.Intn(len(targets))]
-			if t != v {
+			if t != v && !chosen[t] {
 				chosen[t] = true
+				picks = append(picks, t) // draw order, not map order: the
+				// generator must be a deterministic function of the seed
 			}
 		}
-		for t := range chosen {
+		for _, t := range picks {
 			b.AddUnitEdge(v, t)
 			targets = append(targets, v, t)
 		}
