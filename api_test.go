@@ -129,6 +129,42 @@ func TestRunDistributedAPI(t *testing.T) {
 	}
 }
 
+func TestShardedEngineAPI(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 3, 23)
+	T := distkcore.RoundsFor(g.N(), 0.5)
+	ref, refMet := distkcore.RunDistributedOn(g, T, distkcore.SequentialEngine())
+	for _, part := range []distkcore.Partitioner{
+		distkcore.HashPartitioner(), distkcore.RangePartitioner(), distkcore.GreedyPartitioner(),
+	} {
+		eng := distkcore.ShardedEngine(4, part)
+		res, met := distkcore.RunDistributedOn(g, T, eng)
+		if met != refMet {
+			t.Fatalf("%s: metrics %+v, want %+v", part.Name(), met, refMet)
+		}
+		for v := range ref.B {
+			if res.B[v] != ref.B[v] {
+				t.Fatalf("%s: β(%d) diverges from sequential", part.Name(), v)
+			}
+		}
+		sm := eng.ShardMetrics()
+		if sm.P != 4 || sm.CrossMessages == 0 || sm.CrossFrameBytes == 0 {
+			t.Fatalf("%s: implausible shard metrics %+v", part.Name(), sm)
+		}
+	}
+	// Quantized Congest mode rides through the frame codec unchanged.
+	qEng := distkcore.ShardedEngine(8, distkcore.GreedyPartitioner())
+	qRef, qm1 := distkcore.RunDistributedQuantized(g, T, distkcore.PowerGrid(0.1), distkcore.SequentialEngine())
+	qRes, qm2 := distkcore.RunDistributedQuantized(g, T, distkcore.PowerGrid(0.1), qEng)
+	if qm1 != qm2 {
+		t.Fatalf("quantized metrics differ: %+v vs %+v", qm1, qm2)
+	}
+	for v := range qRef.B {
+		if qRes.B[v] != qRef.B[v] {
+			t.Fatalf("quantized β(%d) diverges from sequential", v)
+		}
+	}
+}
+
 func TestRoundsForAndPowerGrid(t *testing.T) {
 	if distkcore.RoundsFor(1024, 1.0) != 10 {
 		t.Fatal("RoundsFor wrong")

@@ -25,6 +25,7 @@ import (
 	"distkcore/internal/graph"
 	"distkcore/internal/hyper"
 	"distkcore/internal/orient"
+	"distkcore/internal/shard"
 )
 
 // --- experiment regeneration (tables & figures) ---
@@ -104,6 +105,36 @@ func BenchmarkExactConvergence10k(b *testing.B) {
 
 func BenchmarkSeqEngine5k(b *testing.B) { benchEngine(b, dist.SeqEngine{}) }
 func BenchmarkParEngine5k(b *testing.B) { benchEngine(b, dist.ParEngine{}) }
+
+// BenchmarkEngines puts all three execution engines head to head on the
+// same 5k-node run (CI smoke-runs it with -bench=Engine -benchtime=1x).
+// The sharded rows additionally report the cross-shard frame volume the
+// run would ship in a real deployment.
+func BenchmarkEngines(b *testing.B) {
+	g := benchGraph(5_000)
+	T := core.TForEpsilon(5_000, 0.5)
+	cases := []struct {
+		name string
+		eng  dist.Engine
+	}{
+		{"seq", dist.SeqEngine{}},
+		{"par", dist.ParEngine{}},
+		{"shard4-greedy", shard.NewEngine(4, shard.Greedy{})},
+		{"shard16-greedy", shard.NewEngine(16, shard.Greedy{})},
+		{"shard16-hash", shard.NewEngine(16, shard.Hash{})},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.RunDistributed(g, core.Options{Rounds: T}, c.eng)
+			}
+			if se, ok := c.eng.(*shard.Engine); ok {
+				b.ReportMetric(float64(se.ShardMetrics().CrossFrameBytes), "frameB/run")
+			}
+		})
+	}
+}
 
 func benchEngine(b *testing.B, eng dist.Engine) {
 	g := benchGraph(5_000)

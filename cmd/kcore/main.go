@@ -5,9 +5,13 @@
 //
 //	kcore -gen ba -n 5000 -eps 0.5
 //	kcore -in graph.txt -eps 0.25 -quantize 0.1
-//	kcore -gen er -n 2000 -exact    # also run to convergence
+//	kcore -gen er -n 2000 -exact           # also run to convergence
+//	kcore -gen ba -engine shard:8 -q       # run as a sharded cluster
 //
-// Output: one line per node "v beta [core]" plus a summary.
+// Output: one line per node "v beta [core]" plus a summary. With -engine
+// the elimination runs as a real message-passing protocol on the selected
+// engine (seq | par | shard:P[:partitioner]) and communication metrics are
+// reported; every engine produces byte-identical values.
 package main
 
 import (
@@ -18,8 +22,10 @@ import (
 
 	"distkcore/internal/cliutil"
 	"distkcore/internal/core"
+	"distkcore/internal/dist"
 	"distkcore/internal/exact"
 	"distkcore/internal/quantize"
+	"distkcore/internal/shard"
 )
 
 func main() {
@@ -31,6 +37,7 @@ func main() {
 	lam := flag.Float64("quantize", 0, "message quantization λ (0 = exact reals)")
 	exactToo := flag.Bool("exact", false, "also compute exact coreness and per-node ratios")
 	quiet := flag.Bool("q", false, "summary only, no per-node lines")
+	engineSpec := flag.String("engine", "", "run as a message-passing protocol on this engine; "+cliutil.EngineUsage+" (empty = centralized simulation)")
 	flag.Parse()
 
 	g, err := cliutil.LoadGraph(*in, *gen, *n, *seed)
@@ -43,7 +50,25 @@ func main() {
 	if *lam > 0 {
 		opt.Lambda = quantize.NewPowerGrid(*lam)
 	}
-	res := core.Run(g, opt)
+	var res *core.Result
+	if *engineSpec != "" {
+		eng, err := cliutil.ParseEngine(*engineSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kcore:", err)
+			os.Exit(2)
+		}
+		var met dist.Metrics
+		res, met = core.RunDistributed(g, opt, eng)
+		fmt.Printf("# engine=%s rounds=%d messages=%d words=%d wireBytes=%d\n",
+			*engineSpec, met.Rounds, met.Messages, met.Words, met.WireBytes)
+		if se, ok := eng.(*shard.Engine); ok {
+			sm := se.ShardMetrics()
+			fmt.Printf("# shards=%d edgeCut=%.1f%% crossMsgs=%d frameBytes=%d maxShardBytes=%d\n",
+				sm.P, 100*sm.EdgeCutFraction, sm.CrossMessages, sm.CrossFrameBytes, sm.MaxShardBytes)
+		}
+	} else {
+		res = core.Run(g, opt)
+	}
 	fmt.Printf("# n=%d m=%d T=%d guarantee=%.3f\n", g.N(), g.M(), T, core.GuaranteeAtT(g.N(), T))
 
 	var cores []float64

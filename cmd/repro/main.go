@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	repro              # run everything at full scale
-//	repro -short       # CI-sized workloads
-//	repro -e E3,E9     # selected experiments
-//	repro -list        # show the index
+//	repro                    # run everything at full scale
+//	repro -short             # CI-sized workloads
+//	repro -e E3,E9           # selected experiments
+//	repro -list              # show the index
+//	repro -engine shard:8    # distributed runs on the sharded engine
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"distkcore/internal/cliutil"
 	"distkcore/internal/experiments"
 )
 
@@ -23,6 +25,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	sel := flag.String("e", "", "comma-separated experiment IDs (default: all)")
 	seed := flag.Int64("seed", 42, "generator seed")
+	engineSpec := flag.String("engine", "", cliutil.EngineUsage)
 	flag.Parse()
 
 	if *list {
@@ -32,7 +35,12 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Short: *short, Seed: *seed}
+	eng, err := cliutil.ParseEngine(*engineSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Short: *short, Seed: *seed, Engine: eng}
 	var specs []experiments.Spec
 	if *sel == "" {
 		specs = experiments.All()

@@ -1,0 +1,51 @@
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"distkcore/internal/dist"
+	"distkcore/internal/shard"
+)
+
+// EngineUsage is the -engine flag help text shared by cmd/kcore and
+// cmd/repro.
+const EngineUsage = "execution engine: seq | par | shard:P | shard:P:hash|range|greedy (shard default: greedy)"
+
+// ParseEngine resolves an -engine flag value to a dist.Engine. The empty
+// string and "seq" mean the sequential reference engine, "par" the
+// goroutine-per-node engine, and "shard:P[:partitioner]" the sharded
+// cluster engine with P shards (partitioner defaults to greedy — the one
+// worth deploying).
+func ParseEngine(spec string) (dist.Engine, error) {
+	s := strings.ToLower(strings.TrimSpace(spec))
+	switch s {
+	case "", "seq":
+		return dist.SeqEngine{}, nil
+	case "par":
+		return dist.ParEngine{}, nil
+	}
+	parts := strings.Split(s, ":")
+	if parts[0] != "shard" || len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("unknown engine %q (want %s)", spec, EngineUsage)
+	}
+	p, err := strconv.Atoi(parts[1])
+	if err != nil || p < 1 {
+		return nil, fmt.Errorf("bad shard count in %q: want shard:P with P >= 1", spec)
+	}
+	var part shard.Partitioner = shard.Greedy{}
+	if len(parts) == 3 {
+		switch parts[2] {
+		case "hash":
+			part = shard.Hash{}
+		case "range":
+			part = shard.Range{}
+		case "greedy":
+			part = shard.Greedy{}
+		default:
+			return nil, fmt.Errorf("unknown partitioner %q in %q (want hash, range or greedy)", parts[2], spec)
+		}
+	}
+	return shard.NewEngine(p, part), nil
+}

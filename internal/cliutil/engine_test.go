@@ -1,0 +1,46 @@
+package cliutil
+
+import (
+	"testing"
+
+	"distkcore/internal/dist"
+	"distkcore/internal/shard"
+)
+
+func TestParseEngine(t *testing.T) {
+	for spec, want := range map[string]string{
+		"":               "seq",
+		"seq":            "seq",
+		"par":            "par",
+		" Par ":          "par",
+		"shard:4":        "shard:4/greedy",
+		"shard:16:hash":  "shard:16/hash",
+		"shard:2:range":  "shard:2/range",
+		"shard:8:greedy": "shard:8/greedy",
+		"SHARD:3:GREEDY": "shard:3/greedy",
+	} {
+		eng, err := ParseEngine(spec)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		var got string
+		switch e := eng.(type) {
+		case dist.SeqEngine:
+			got = "seq"
+		case dist.ParEngine:
+			got = "par"
+		case *shard.Engine:
+			got = e.Name()
+		default:
+			t.Fatalf("%q: unexpected engine type %T", spec, eng)
+		}
+		if got != want {
+			t.Fatalf("%q parsed to %s, want %s", spec, got, want)
+		}
+	}
+	for _, bad := range []string{"nope", "shard", "shard:", "shard:0", "shard:x", "shard:4:metis", "shard:4:hash:extra"} {
+		if _, err := ParseEngine(bad); err == nil {
+			t.Fatalf("%q must not parse", bad)
+		}
+	}
+}

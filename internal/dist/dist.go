@@ -28,6 +28,7 @@
 package dist
 
 import (
+	"math"
 	"sort"
 	"sync"
 
@@ -103,10 +104,43 @@ type Engine interface {
 	WithWireLambda(lam quantize.Lambda) Engine
 }
 
-// envelope is a buffered outgoing message.
+// envelope is a buffered outgoing message. vh caches the hash of m.Vec at
+// send time when CheckVecAliasing is on (0 otherwise).
 type envelope struct {
 	to graph.NodeID
 	m  Message
+	vh uint64
+}
+
+// CheckVecAliasing enables an integrity check on shared Vec payloads in the
+// engines' deliver path. Broadcast hands the SAME Vec slice to every
+// recipient, guarded only by the read-only contract on Message; with the
+// check on, the runtime hashes each Vec at send time and again after the
+// receivers' hooks have run, and panics if any program mutated it — so a
+// protocol that violates the contract fails loudly instead of silently
+// corrupting sibling inboxes. Set it before Run and do not toggle it while
+// an engine is running (the parallel engines read it concurrently). It is
+// meant for tests; the default build pays one branch per send.
+var CheckVecAliasing bool
+
+// vecHash is FNV-1a over the float bit patterns of v.
+func vecHash(v []float64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, x := range v {
+		b := math.Float64bits(x)
+		for i := 0; i < 8; i++ {
+			h ^= b & 0xff
+			h *= 1099511628211
+			b >>= 8
+		}
+	}
+	return h
+}
+
+// vecCheck is one delivered Vec awaiting verification at the next deliver.
+type vecCheck struct {
+	vec []float64
+	h   uint64
 }
 
 // Ctx is a node's handle on the runtime, passed to every Program hook. It
@@ -140,8 +174,12 @@ func (c *Ctx) Round() int { return c.round }
 // the start of the next round.
 func (c *Ctx) Broadcast(m Message) {
 	m.From = c.id
+	var vh uint64
+	if CheckVecAliasing && len(m.Vec) > 0 {
+		vh = vecHash(m.Vec)
+	}
 	for _, p := range c.peers {
-		c.out = append(c.out, envelope{to: p, m: m})
+		c.out = append(c.out, envelope{to: p, m: m, vh: vh})
 	}
 }
 
@@ -152,7 +190,11 @@ func (c *Ctx) Send(to graph.NodeID, m Message) {
 		panic("dist: Send target is not a neighbor")
 	}
 	m.From = c.id
-	c.out = append(c.out, envelope{to: to, m: m})
+	var vh uint64
+	if CheckVecAliasing && len(m.Vec) > 0 {
+		vh = vecHash(m.Vec)
+	}
+	c.out = append(c.out, envelope{to: to, m: m, vh: vh})
 }
 
 // Halt marks the node as terminated: its Round hook will not be called
@@ -178,14 +220,15 @@ func isPeerOf(peers []graph.NodeID, v graph.NodeID) bool {
 // single-threaded (between barriers in the parallel engine), which is what
 // keeps the two engines execution-identical.
 type sim struct {
-	g     *graph.Graph
-	lam   quantize.Lambda
-	progs []Program
-	ctxs  []*Ctx
-	inbox [][]Message
-	alive int
-	mu    sync.Mutex
-	met   Metrics
+	g         *graph.Graph
+	lam       quantize.Lambda
+	progs     []Program
+	ctxs      []*Ctx
+	inbox     [][]Message
+	alive     int
+	mu        sync.Mutex
+	met       Metrics
+	vecChecks []vecCheck // delivered Vecs awaiting verification (CheckVecAliasing)
 }
 
 func newSim(g *graph.Graph, lam quantize.Lambda, factory Factory) *sim {
@@ -228,11 +271,31 @@ func peersOf(g *graph.Graph, v graph.NodeID) []graph.NodeID {
 	return peers[:j]
 }
 
+// RouteFunc is the transport hook of Driver.Deliver: the engine's delivery
+// loop calls it once per message, in the deterministic global delivery
+// order (ascending sender ID, ties in send order), and places the returned
+// message in the receiver's inbox. A transport may transform the message in
+// flight — the sharded engine routes cross-shard messages through its frame
+// codec — as long as the result is semantically identical; it is called
+// even for messages whose receiver has already halted (a real transport
+// ships them before learning that), though those are then dropped.
+type RouteFunc func(from, to graph.NodeID, m Message) Message
+
 // deliver moves every buffered outgoing message into its receiver's inbox
 // for the next round, accounts metrics, and retires freshly halted nodes.
 // Senders are processed in ascending node ID, so inboxes are ordered by
 // sender — the determinism contract of the package.
-func (s *sim) deliver() {
+func (s *sim) deliver() { s.deliverVia(nil) }
+
+// deliverVia is deliver with an optional transport hook. Metrics always
+// account the original message (Words/WireBytes are properties of the
+// protocol, not of the transport), and the delivery order is independent of
+// route — which is what keeps engines built on transports byte-identical to
+// SeqEngine.
+func (s *sim) deliverVia(route RouteFunc) {
+	if CheckVecAliasing {
+		s.verifyDeliveredVecs()
+	}
 	for v := range s.inbox {
 		s.inbox[v] = s.inbox[v][:0]
 	}
@@ -242,8 +305,18 @@ func (s *sim) deliver() {
 			s.met.Messages++
 			s.met.Words += int64(env.m.Words())
 			s.met.WireBytes += int64(wireSize(s.lam, env.m))
+			if CheckVecAliasing && len(env.m.Vec) > 0 && vecHash(env.m.Vec) != env.vh {
+				panic("dist: Message.Vec mutated after Broadcast/Send — sent messages are read-only (see Message)")
+			}
+			m := env.m
+			if route != nil {
+				m = route(env.m.From, env.to, env.m)
+			}
 			if !s.ctxs[env.to].halted {
-				s.inbox[env.to] = append(s.inbox[env.to], env.m)
+				s.inbox[env.to] = append(s.inbox[env.to], m)
+				if CheckVecAliasing && len(m.Vec) > 0 {
+					s.vecChecks = append(s.vecChecks, vecCheck{vec: m.Vec, h: vecHash(m.Vec)})
+				}
 			}
 		}
 		c.out = c.out[:0]
@@ -255,6 +328,19 @@ func (s *sim) deliver() {
 		}
 	}
 	s.alive = alive
+}
+
+// verifyDeliveredVecs re-hashes every Vec delivered in the previous round —
+// the receivers' hooks have all run by now — and panics if any program
+// mutated one. Broadcast shares a single Vec across recipients, so a
+// single mutation would corrupt every sibling inbox.
+func (s *sim) verifyDeliveredVecs() {
+	for _, vc := range s.vecChecks {
+		if vecHash(vc.vec) != vc.h {
+			panic("dist: a delivered Message.Vec was mutated by a receiver — inbox messages are read-only (see Message)")
+		}
+	}
+	s.vecChecks = s.vecChecks[:0]
 }
 
 // finish stamps the run-level metrics once the round loop exits.

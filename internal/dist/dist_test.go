@@ -320,6 +320,70 @@ func TestMessagesToHaltedNodesAreDropped(t *testing.T) {
 	}
 }
 
+// --- shared-Vec aliasing check -------------------------------------------
+
+func expectAliasingPanic(t *testing.T, factory Factory) {
+	t.Helper()
+	CheckVecAliasing = true
+	defer func() {
+		CheckVecAliasing = false
+		if recover() == nil {
+			t.Fatal("expected the aliasing check to panic")
+		}
+	}()
+	SeqEngine{}.Run(graph.Star(4), factory, 4)
+}
+
+func TestAliasingCheckCatchesSenderMutation(t *testing.T) {
+	// Broadcast buffers the Vec by reference; mutating it afterwards (even
+	// in the same hook) would corrupt what every receiver reads.
+	expectAliasingPanic(t, func(v graph.NodeID) Program {
+		return programFunc{init: func(c *Ctx) {
+			if v == 0 {
+				vec := []float64{1, 2}
+				c.Broadcast(Message{Vec: vec})
+				vec[0] = 99
+			}
+			c.Halt()
+		}}
+	})
+}
+
+func TestAliasingCheckCatchesReceiverMutation(t *testing.T) {
+	// Broadcast hands the SAME Vec slice to every recipient; a receiver
+	// writing through it corrupts its siblings' inboxes.
+	expectAliasingPanic(t, func(v graph.NodeID) Program {
+		return programFunc{
+			init: func(c *Ctx) {
+				if v == 0 {
+					c.Broadcast(Message{Vec: []float64{1, 2}})
+				}
+			},
+			round: func(c *Ctx, inbox []Message) {
+				for _, m := range inbox {
+					if len(m.Vec) > 0 {
+						m.Vec[0] = -1
+					}
+				}
+				c.Halt()
+			},
+		}
+	})
+}
+
+func TestAliasingCheckAllowsWellBehavedPrograms(t *testing.T) {
+	// The trace protocol sends and reads Vecs without mutating them; with
+	// the check armed it must run exactly as before.
+	CheckVecAliasing = true
+	defer func() { CheckVecAliasing = false }()
+	g := graph.BarabasiAlbert(40, 3, 4)
+	seqSink, seqMet := runTrace(g, 4, SeqEngine{})
+	parSink, parMet := runTrace(g, 4, ParEngine{})
+	if seqMet != parMet || !reflect.DeepEqual(seqSink.lines, parSink.lines) {
+		t.Fatal("engines diverge with the aliasing check armed")
+	}
+}
+
 // --- asynchronous simulator ----------------------------------------------
 
 // echoProgram broadcasts once at init; every first message from a neighbor

@@ -1,0 +1,64 @@
+package dist
+
+import (
+	"distkcore/internal/graph"
+	"distkcore/internal/quantize"
+)
+
+// Driver exposes the engine-shared machinery — per-node programs and
+// contexts, mailboxes, delivery order and metrics accounting — to Engine
+// implementations that live outside this package (the sharded cluster
+// engine of internal/shard). It is the same sim core both built-in engines
+// are thin schedulers over, so an engine built on a Driver inherits the
+// package's determinism contract wholesale: step nodes in any order (or
+// concurrently, for distinct nodes) between barriers, then call Deliver
+// from a single goroutine, and the execution is byte-identical to
+// SeqEngine's.
+type Driver struct{ s *sim }
+
+// NewDriver instantiates one Program per node of g via factory and returns
+// the driver handle. lam prices Metrics.WireBytes (nil means Λ = ℝ).
+func NewDriver(g *graph.Graph, lam quantize.Lambda, factory Factory) *Driver {
+	return &Driver{s: newSim(g, lam, factory)}
+}
+
+// N returns the node count of the run.
+func (d *Driver) N() int { return len(d.s.ctxs) }
+
+// Alive returns the number of nodes that have not halted. Valid between a
+// Deliver and the next Step wave (deliver is where halts are retired).
+func (d *Driver) Alive() int { return d.s.alive }
+
+// Halted reports whether node v has halted. Safe to read concurrently with
+// Steps of other nodes; racing it against Step(v, ·) of the same node is
+// the caller's bug.
+func (d *Driver) Halted(v graph.NodeID) bool { return d.s.ctxs[v].halted }
+
+// Step runs node v's hook for round t — Init when t == 0, Round with the
+// node's current inbox otherwise — and is a no-op for halted nodes.
+// Concurrent Steps are safe for distinct v; the engine must barrier before
+// calling Deliver.
+func (d *Driver) Step(v graph.NodeID, t int) {
+	c := d.s.ctxs[v]
+	if c.halted {
+		return
+	}
+	c.round = t
+	if t == 0 {
+		d.s.progs[v].Init(c)
+	} else {
+		d.s.progs[v].Round(c, d.s.inbox[v])
+	}
+}
+
+// Deliver moves every buffered send into the receivers' next-round inboxes
+// in the package's deterministic global order (ascending sender ID, ties in
+// send order), accounting Metrics on the way. Each message passes through
+// route when non-nil (see RouteFunc) — the hook transports use to divert
+// traffic through their own wire format. Must be called from one goroutine,
+// after every Step of the round has returned.
+func (d *Driver) Deliver(route RouteFunc) { d.s.deliverVia(route) }
+
+// Finish stamps and returns the run-level Metrics once the round loop
+// exits.
+func (d *Driver) Finish(rounds int) Metrics { return d.s.finish(rounds) }

@@ -21,6 +21,9 @@ type ParEngine struct {
 	Lam quantize.Lambda
 }
 
+// Name identifies the engine in experiment tables and CLI flags.
+func (ParEngine) Name() string { return "par" }
+
 // WithWireLambda implements Engine.
 func (e ParEngine) WithWireLambda(lam quantize.Lambda) Engine {
 	e.Lam = lam

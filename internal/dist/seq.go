@@ -17,6 +17,9 @@ type SeqEngine struct {
 	Lam quantize.Lambda
 }
 
+// Name identifies the engine in experiment tables and CLI flags.
+func (SeqEngine) Name() string { return "seq" }
+
 // WithWireLambda implements Engine.
 func (e SeqEngine) WithWireLambda(lam quantize.Lambda) Engine {
 	e.Lam = lam

@@ -78,9 +78,13 @@ func runE2(cfg Config) *Report {
 				sandwich = false
 			}
 		}
+		// The same elimination as a real message-passing protocol on the
+		// configured engine must land on the T=Tmax row exactly.
+		dres, _ := core.RunDistributed(w.G, core.Options{Rounds: Tmax}, cfg.engine())
+		agree := equalVectors(dres.B, res.B)
 		rep.Notes = append(rep.Notes, fmt.Sprintf(
-			"%s: total bound violations %d (want 0); Corollary III.6 r≤c≤2r holds: %v; T(ε=%.1f)=%d",
-			w.Name, viol, sandwich, eps, Tmax))
+			"%s: total bound violations %d (want 0); Corollary III.6 r≤c≤2r holds: %v; T(ε=%.1f)=%d; engine %s agrees: %v%s",
+			w.Name, viol, sandwich, eps, Tmax, engineName(cfg.engine()), agree, mismatchTag(agree)))
 	}
 	return rep
 }

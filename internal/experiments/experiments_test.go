@@ -3,10 +3,12 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"distkcore/internal/shard"
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -79,5 +81,37 @@ func TestDeterministicReports(t *testing.T) {
 	b := runE1(Config{Short: true, Seed: 3}).String()
 	if a != b {
 		t.Fatal("experiments must be deterministic for a fixed seed")
+	}
+}
+
+func TestE18GreedyBeatsHashOnPowerLaw(t *testing.T) {
+	// The headline of the sharding experiment: the LDG partitioner moves
+	// strictly fewer cross-shard frame bytes than hash placement on the
+	// power-law workload at every P ≥ 4.
+	rep := runE18(Config{Short: true, Seed: 42})
+	found := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "fewer frame bytes than hash") {
+			found = true
+			if !strings.Contains(n, "true") {
+				t.Fatalf("greedy does not beat hash: %s", n)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("E18 did not report the greedy-vs-hash verdict")
+	}
+}
+
+func TestExperimentsRunOnConfiguredEngine(t *testing.T) {
+	// Engine selection is a Config field: the engine-backed experiments
+	// must produce byte-identical reports on every engine.
+	seq := runE6(Config{Short: true, Seed: 5})
+	shd := runE6(Config{Short: true, Seed: 5, Engine: shard.NewEngine(4, shard.Greedy{})})
+	stripEngine := func(r *Report) string {
+		return strings.ReplaceAll(r.String(), engineName(shard.NewEngine(4, shard.Greedy{})), "seq")
+	}
+	if stripEngine(seq) != stripEngine(shd) {
+		t.Fatalf("E6 differs across engines:\n--- seq ---\n%s\n--- shard ---\n%s", seq, shd)
 	}
 }

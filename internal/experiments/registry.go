@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"distkcore/internal/dist"
 )
 
 // Config scales the experiment workloads.
@@ -17,6 +19,53 @@ type Config struct {
 	Short bool
 	// Seed drives all generators.
 	Seed int64
+	// Engine is the dist.Engine the distributed runs inside experiments
+	// execute on (nil means dist.SeqEngine{}). All engines are
+	// byte-identical, so the reproduced numbers cannot change — this is
+	// what lets cmd/repro's -engine flag re-run E2/E6/E7 sharded without
+	// code changes.
+	Engine dist.Engine
+}
+
+// engine returns the configured engine, defaulting to the sequential
+// reference scheduler.
+func (c Config) engine() dist.Engine {
+	if c.Engine != nil {
+		return c.Engine
+	}
+	return dist.SeqEngine{}
+}
+
+// engineName labels cfg.engine() in report notes; every engine in the tree
+// carries a Name method, so the fallback only fires for third-party ones.
+func engineName(e dist.Engine) string {
+	if n, ok := e.(interface{ Name() string }); ok {
+		return n.Name()
+	}
+	return fmt.Sprintf("%T", e)
+}
+
+// equalVectors reports exact element-wise equality — the engines' contract
+// is byte-identity, so cross-engine comparisons use no tolerance.
+func equalVectors(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mismatchTag renders the registry-wide failure marker when ok is false;
+// the experiment test suite fails any report carrying it.
+func mismatchTag(ok bool) string {
+	if ok {
+		return ""
+	}
+	return " MISMATCH"
 }
 
 // Report is the output of one experiment.

@@ -56,7 +56,11 @@ func NewPowerGrid(lambda float64) PowerGrid {
 	return PowerGrid{L: lambda}
 }
 
-// RoundDown implements Lambda.
+// RoundDown implements Lambda. The returned grid point is always the
+// canonical math.Pow(1+λ, k) for the final integer exponent k — the exact
+// bit pattern internal/codec reconstructs when decoding grid index k — so
+// a rounded value survives an encode/decode round trip bit for bit (the
+// sharded engine's frame transport relies on this).
 func (p PowerGrid) RoundDown(x float64) float64 {
 	if x <= 0 {
 		return 0
@@ -66,17 +70,16 @@ func (p PowerGrid) RoundDown(x float64) float64 {
 	}
 	base := 1 + p.L
 	k := math.Floor(math.Log(x) / math.Log(base))
-	v := math.Pow(base, k)
 	// Guard against floating-point drift on exact powers: allow a 1-ulp-ish
 	// relative slack so that grid points are fixed points of RoundDown.
 	const rel = 1e-12
-	for v > x*(1+rel) {
-		v /= base
+	for math.Pow(base, k) > x*(1+rel) {
+		k--
 	}
-	for v*base <= x*(1+rel) {
-		v *= base
+	for math.Pow(base, k+1) <= x*(1+rel) {
+		k++
 	}
-	return v
+	return math.Pow(base, k)
 }
 
 // Bits implements Lambda: values in [lo,hi] occupy at most

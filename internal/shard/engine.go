@@ -1,0 +1,191 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"distkcore/internal/codec"
+	"distkcore/internal/dist"
+	"distkcore/internal/graph"
+	"distkcore/internal/quantize"
+)
+
+// Engine is the sharded cluster engine. It implements dist.Engine on a
+// dist.Driver: P worker goroutines each step the nodes of one shard
+// (ascending ID within the shard), a barrier closes the round, and the
+// coordinator delivers all buffered sends single-threaded. During delivery
+// every cross-shard message is appended to its shard pair's frame and the
+// receiver gets the *decoded* frame contents, so the bytes accounted in
+// ShardMetrics are exactly the bytes the execution ran on. Executions are
+// byte-identical to dist.SeqEngine's (the dist package's determinism
+// contract; asserted by this package's equivalence tests).
+//
+// Obtain one with NewEngine; the zero value is not usable.
+type Engine struct {
+	p    int
+	part Partitioner
+	lam  quantize.Lambda
+	// sm is the last run's shard metrics. It is a pointer so that the
+	// copies WithWireLambda hands to protocol drivers share the sink and
+	// the caller's handle still observes the run.
+	sm *ShardMetrics
+}
+
+// NewEngine returns a sharded engine with p shards placed by part
+// (nil means Hash{}).
+func NewEngine(p int, part Partitioner) *Engine {
+	if p < 1 {
+		panic("shard: NewEngine requires p >= 1")
+	}
+	if part == nil {
+		part = Hash{}
+	}
+	return &Engine{p: p, part: part, sm: &ShardMetrics{}}
+}
+
+// P returns the shard count.
+func (e *Engine) P() int { return e.p }
+
+// Name identifies the engine configuration in experiment tables,
+// e.g. "shard:8/greedy".
+func (e *Engine) Name() string { return fmt.Sprintf("shard:%d/%s", e.p, e.part.Name()) }
+
+// WithWireLambda implements dist.Engine. The copy shares the ShardMetrics
+// sink with the original, so e.ShardMetrics() reflects runs made through
+// the copy (protocol drivers re-wrap engines with the protocol's Λ
+// internally).
+func (e *Engine) WithWireLambda(lam quantize.Lambda) dist.Engine {
+	c := *e
+	c.lam = lam
+	return &c
+}
+
+// ShardMetrics returns a copy of the most recent Run's sharding metrics.
+func (e *Engine) ShardMetrics() ShardMetrics {
+	sm := *e.sm
+	sm.PerShardBytes = append([]int64(nil), e.sm.PerShardBytes...)
+	return sm
+}
+
+// Run implements dist.Engine.
+func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.Metrics {
+	p := e.p
+	lam := e.lam
+	if lam == nil {
+		lam = quantize.Reals{}
+	}
+	assign := e.part.Partition(g, p)
+	if len(assign) != g.N() {
+		panic(fmt.Sprintf("shard: partitioner %s returned %d assignments for %d nodes",
+			e.part.Name(), len(assign), g.N()))
+	}
+	shards := make([][]graph.NodeID, p)
+	for v, s := range assign { // ascending v ⇒ ascending IDs within a shard
+		if s < 0 || s >= p {
+			panic(fmt.Sprintf("shard: partitioner %s assigned node %d to shard %d (p=%d)",
+				e.part.Name(), v, s, p))
+		}
+		shards[s] = append(shards[s], v)
+	}
+
+	sm := ShardMetrics{P: p, PerShardBytes: make([]int64, p)}
+	cut, tot := 0, 0
+	for _, ed := range g.Edges() {
+		if ed.IsLoop() {
+			continue
+		}
+		tot++
+		if assign[ed.U] != assign[ed.V] {
+			cut++
+		}
+	}
+	if tot > 0 {
+		sm.EdgeCutFraction = float64(cut) / float64(tot)
+	}
+
+	d := dist.NewDriver(g, lam, factory)
+
+	// frames[s*p+q] batches this round's s→q traffic. route runs inside
+	// Deliver (single-threaded), appends each cross-shard message to its
+	// frame and returns the decode of the bytes just written — the
+	// round trip that ties the accounting to the execution.
+	frames := make([]frameBuf, p*p)
+	route := func(from, to graph.NodeID, m dist.Message) dist.Message {
+		sf, df := assign[from], assign[to]
+		if sf == df {
+			return m // intra-shard: handed over in memory, free on the wire
+		}
+		fb := &frames[sf*p+df]
+		start := len(fb.buf)
+		fb.buf = appendMessage(fb.buf, lam, to, m)
+		fb.count++
+		sm.CrossMessages++
+		_, dm, _, err := decodeMessage(fb.buf[start:], lam)
+		if err != nil {
+			panic("shard: frame codec round trip failed: " + err.Error())
+		}
+		return dm
+	}
+	// flush closes the round's frames: prices each non-empty one (header +
+	// body) into the shard ledgers and resets the buffers.
+	flush := func(round int) {
+		for s := 0; s < p; s++ {
+			for q := 0; q < p; q++ {
+				fb := &frames[s*p+q]
+				if fb.count == 0 {
+					continue
+				}
+				n := int64(codec.FrameHeaderSize(codec.FrameHeader{
+					Src: s, Dst: q, Round: round, Count: fb.count,
+				})) + int64(len(fb.buf))
+				sm.CrossFrameBytes += n
+				sm.PerShardBytes[s] += n
+				fb.buf = fb.buf[:0]
+				fb.count = 0
+			}
+		}
+	}
+
+	// One worker per shard; a round value on the work channel means "step
+	// your nodes" (0 = Init). The WaitGroup is the per-round barrier and
+	// the happens-before edge that makes the coordinator's Deliver safe.
+	work := make([]chan int, p)
+	var wg sync.WaitGroup
+	for s := 0; s < p; s++ {
+		work[s] = make(chan int, 1)
+		go func(s int) {
+			for t := range work[s] {
+				for _, v := range shards[s] {
+					d.Step(v, t) // no-op for halted nodes
+				}
+				wg.Done()
+			}
+		}(s)
+	}
+	step := func(t int) {
+		wg.Add(p)
+		for s := 0; s < p; s++ {
+			work[s] <- t
+		}
+		wg.Wait()
+		d.Deliver(route)
+		flush(t)
+	}
+
+	step(0)
+	rounds := 0
+	for t := 1; t <= maxRounds && d.Alive() > 0; t++ {
+		rounds = t
+		step(t)
+	}
+	for s := 0; s < p; s++ {
+		close(work[s])
+	}
+	for _, b := range sm.PerShardBytes {
+		if b > sm.MaxShardBytes {
+			sm.MaxShardBytes = b
+		}
+	}
+	*e.sm = sm
+	return d.Finish(rounds)
+}

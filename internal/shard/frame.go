@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"distkcore/internal/codec"
+	"distkcore/internal/dist"
+	"distkcore/internal/graph"
+	"distkcore/internal/quantize"
+)
+
+// Cross-shard frame format. One frame per ordered shard pair per round
+// with at least one message:
+//
+//	header  codec.FrameHeader{Src, Dst, Round, Count} — four uvarints
+//	body    Count messages, each:
+//	        uvarint from | uvarint to | tag byte |
+//	        [Kind byte]          when tagKind
+//	        [zigzag-varint I0]   when tagI0
+//	        F0: raw 8-byte float when tagRawF0, else codec.EncodeValue
+//	        [uvarint len + len × 8-byte words]  when tagVec
+//
+// The encoding is *lossless* for every message, not only ones rounded to
+// the engine's Λ: codec.RoundTrips decides per value whether the grid code
+// reproduces the exact bit pattern, and the raw escape (tagRawF0) covers
+// everything else. That is what lets the engine deliver the decoded frame
+// contents — the bytes that actually crossed the wire — while staying
+// byte-identical to dist.SeqEngine.
+const (
+	tagKind  = 1 << 0 // Kind ≠ 0 follows
+	tagI0    = 1 << 1 // I0 ≠ 0 follows
+	tagVec   = 1 << 2 // Vec length + words follow
+	tagRawF0 = 1 << 3 // F0 shipped as raw float64 bits (off-grid escape)
+)
+
+// frameBuf accumulates one shard pair's message bodies for the current
+// round; the header is accounted when the frame is flushed.
+type frameBuf struct {
+	buf   []byte
+	count int
+}
+
+// appendMessage appends the body encoding of m (addressed to node `to`)
+// under lam.
+func appendMessage(dst []byte, lam quantize.Lambda, to graph.NodeID, m dist.Message) []byte {
+	dst = binary.AppendUvarint(dst, uint64(m.From))
+	dst = binary.AppendUvarint(dst, uint64(to))
+	var tag byte
+	if m.Kind != 0 {
+		tag |= tagKind
+	}
+	if m.I0 != 0 {
+		tag |= tagI0
+	}
+	if len(m.Vec) > 0 {
+		tag |= tagVec
+	}
+	dst = append(dst, tag)
+	tagIdx := len(dst) - 1 // patched below if F0 needs the raw escape
+	if m.Kind != 0 {
+		dst = append(dst, m.Kind)
+	}
+	if m.I0 != 0 {
+		dst = binary.AppendVarint(dst, int64(m.I0))
+	}
+	if out, ok := codec.AppendValueLossless(dst, lam, m.F0); ok {
+		dst = out
+	} else {
+		dst[tagIdx] |= tagRawF0
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.F0))
+	}
+	if len(m.Vec) > 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(m.Vec)))
+		for _, x := range m.Vec {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+		}
+	}
+	return dst
+}
+
+// decodeMessage reads one message body and returns the receiver, the
+// reconstructed message and the number of bytes consumed.
+func decodeMessage(src []byte, lam quantize.Lambda) (to graph.NodeID, m dist.Message, n int, err error) {
+	from, k := binary.Uvarint(src)
+	if k <= 0 {
+		return 0, m, 0, fmt.Errorf("shard: truncated frame message (from)")
+	}
+	n += k
+	toU, k := binary.Uvarint(src[n:])
+	if k <= 0 {
+		return 0, m, 0, fmt.Errorf("shard: truncated frame message (to)")
+	}
+	n += k
+	if n >= len(src) {
+		return 0, m, 0, fmt.Errorf("shard: truncated frame message (tag)")
+	}
+	tag := src[n]
+	n++
+	m.From = graph.NodeID(from)
+	if tag&tagKind != 0 {
+		if n >= len(src) {
+			return 0, m, 0, fmt.Errorf("shard: truncated frame message (kind)")
+		}
+		m.Kind = src[n]
+		n++
+	}
+	if tag&tagI0 != 0 {
+		i0, k := binary.Varint(src[n:])
+		if k <= 0 {
+			return 0, m, 0, fmt.Errorf("shard: truncated frame message (i0)")
+		}
+		m.I0 = int(i0)
+		n += k
+	}
+	if tag&tagRawF0 != 0 {
+		if len(src[n:]) < 8 {
+			return 0, m, 0, fmt.Errorf("shard: truncated frame message (raw f0)")
+		}
+		m.F0 = math.Float64frombits(binary.LittleEndian.Uint64(src[n:]))
+		n += 8
+	} else {
+		f0, k, err := codec.DecodeValue(src[n:], lam)
+		if err != nil {
+			return 0, m, 0, err
+		}
+		m.F0 = f0
+		n += k
+	}
+	if tag&tagVec != 0 {
+		l, k := binary.Uvarint(src[n:])
+		if k <= 0 {
+			return 0, m, 0, fmt.Errorf("shard: truncated frame message (vec len)")
+		}
+		n += k
+		if len(src[n:]) < 8*int(l) {
+			return 0, m, 0, fmt.Errorf("shard: truncated frame message (vec)")
+		}
+		m.Vec = make([]float64, l)
+		for i := range m.Vec {
+			m.Vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[n:]))
+			n += 8
+		}
+	}
+	return graph.NodeID(toU), m, n, nil
+}
