@@ -1,0 +1,195 @@
+// Command bench runs the substrate and engine benchmarks that track the
+// ROADMAP performance trajectory and writes the results as JSON. CI runs it
+// on every push and uploads the file as an artifact (BENCH_PR3.json), so the
+// repo accumulates comparable data points over time.
+//
+// Usage:
+//
+//	go run ./cmd/bench -out BENCH_PR3.json -label post-csr
+//	go run ./cmd/bench -against baseline.json -out BENCH_PR3.json
+//
+// The benchmark set mirrors BenchmarkEngines (all three execution engines on
+// the same BarabasiAlbert coreness run) plus the substrate micro-benchmarks
+// (graph build, delivery loop) that the CSR/arena refactor targets. With
+// -against, a previous report is embedded as "baseline" and per-benchmark
+// speedups are printed and recorded.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"distkcore/internal/core"
+	"distkcore/internal/dist"
+	"distkcore/internal/graph"
+	"distkcore/internal/shard"
+)
+
+// Result is one benchmark row (ns/op, B/op, allocs/op as in `go test -bench`).
+type Result struct {
+	Name     string  `json:"name"`
+	Iters    int     `json:"iterations"`
+	NsPerOp  float64 `json:"ns_op"`
+	BytesOp  int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// Report is the file cmd/bench writes. Baseline, when present, is an earlier
+// Report to compare against (the pre-refactor numbers for PR 3).
+type Report struct {
+	Label     string             `json:"label"`
+	Go        string             `json:"go"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	CPUs      int                `json:"cpus"`
+	Nodes     int                `json:"nodes"`
+	Rounds    int                `json:"rounds"`
+	Results   []Result           `json:"results"`
+	Baseline  *Report            `json:"baseline,omitempty"`
+	SpeedupNs map[string]float64 `json:"speedup_ns,omitempty"`   // baseline ns/op ÷ current
+	AllocsCut map[string]float64 `json:"allocs_ratio,omitempty"` // baseline allocs/op ÷ current
+}
+
+// flood is a deliver-heavy protocol: every node broadcasts every round, so
+// the benchmark is dominated by the runtime's mailbox machinery rather than
+// algorithm work. It is the cmd-level twin of dist's BenchmarkDeliver.
+type flood struct{ rounds int }
+
+func (f *flood) Init(c *dist.Ctx) { c.Broadcast(dist.Message{F0: 1}) }
+func (f *flood) Round(c *dist.Ctx, inbox []dist.Message) {
+	if c.Round() >= f.rounds {
+		c.Halt()
+		return
+	}
+	s := 0.0
+	for _, m := range inbox {
+		s += m.F0
+	}
+	c.Broadcast(dist.Message{F0: s})
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_PR3.json", "output JSON path ('-' for stdout)")
+		label   = flag.String("label", "current", "label recorded in the report")
+		n       = flag.Int("n", 10_000, "BarabasiAlbert node count for the engine workload")
+		against = flag.String("against", "", "previous report to embed as baseline")
+	)
+	flag.Parse()
+
+	g := graph.BarabasiAlbert(*n, 4, 7)
+	T := core.TForEpsilon(*n, 0.5)
+	rep := Report{
+		Label:  *label,
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Nodes:  *n,
+		Rounds: T,
+	}
+
+	engines := []struct {
+		name string
+		eng  dist.Engine
+	}{
+		{"engines/seq", dist.SeqEngine{}},
+		{"engines/par", dist.ParEngine{}},
+		{"engines/shard4-greedy", shard.NewEngine(4, shard.Greedy{})},
+		{"engines/shard16-hash", shard.NewEngine(16, shard.Hash{})},
+	}
+	for _, c := range engines {
+		c := c
+		rep.add(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.RunDistributed(g, core.Options{Rounds: T}, c.eng)
+			}
+		})
+	}
+
+	edges := g.Edges()
+	rep.add("graph/build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bld := graph.NewBuilder(*n)
+			for _, e := range edges {
+				bld.AddEdge(e.U, e.V, e.W)
+			}
+			bld.Build()
+		}
+	})
+
+	fg := graph.BarabasiAlbert(2_000, 4, 7)
+	rep.add("dist/deliver-flood", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dist.SeqEngine{}.Run(fg, func(graph.NodeID) dist.Program { return &flood{rounds: 20} }, 25)
+		}
+	})
+
+	if *against != "" {
+		raw, err := os.ReadFile(*against)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		base := new(Report)
+		if err := json.Unmarshal(raw, base); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: parse baseline:", err)
+			os.Exit(1)
+		}
+		base.Baseline = nil // never nest more than one level
+		rep.Baseline = base
+		rep.SpeedupNs = map[string]float64{}
+		rep.AllocsCut = map[string]float64{}
+		for _, br := range base.Results {
+			for _, cr := range rep.Results {
+				if cr.Name != br.Name {
+					continue
+				}
+				if cr.NsPerOp != 0 {
+					rep.SpeedupNs[cr.Name] = br.NsPerOp / cr.NsPerOp
+				}
+				if cr.AllocsOp != 0 {
+					rep.AllocsCut[cr.Name] = float64(br.AllocsOp) / float64(cr.AllocsOp)
+				}
+				fmt.Fprintf(os.Stderr, "%-24s ns/op ×%.2f   allocs/op ×%.2f\n",
+					cr.Name, rep.SpeedupNs[cr.Name], rep.AllocsCut[cr.Name])
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "bench: wrote", *out)
+}
+
+// add runs one benchmark with allocation reporting and records the row.
+func (r *Report) add(name string, f func(*testing.B)) {
+	fmt.Fprintf(os.Stderr, "bench: running %s...\n", name)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		f(b)
+	})
+	r.Results = append(r.Results, Result{
+		Name:     name,
+		Iters:    res.N,
+		NsPerOp:  float64(res.T.Nanoseconds()) / float64(res.N),
+		BytesOp:  res.AllocedBytesPerOp(),
+		AllocsOp: res.AllocsPerOp(),
+	})
+}

@@ -24,7 +24,7 @@ type eliminationProgram struct {
 
 	upd  *Updater
 	b    float64
-	nbrB map[graph.NodeID]float64 // latest value per neighbor
+	nbrB PeerTable // latest value per neighbor, flat (DESIGN.md §7)
 	sink *DistResult
 }
 
@@ -77,10 +77,7 @@ func RunDistributed(g *graph.Graph, opt Options, eng dist.Engine) (*Result, dist
 func (p *eliminationProgram) Init(c *dist.Ctx) {
 	p.upd = NewUpdater(c.Neighbors())
 	p.b = math.Inf(1)
-	p.nbrB = make(map[graph.NodeID]float64, len(c.Neighbors()))
-	for _, a := range c.Neighbors() {
-		p.nbrB[a.To] = math.Inf(1)
-	}
+	p.nbrB = NewPeerTable(p.id, c.Neighbors(), c.Peers(), math.Inf(1))
 	if len(c.Neighbors()) == 0 {
 		// Isolated node: β_t = 0 for all t ≥ 1; nothing to say or hear.
 		p.b = 0
@@ -92,15 +89,11 @@ func (p *eliminationProgram) Init(c *dist.Ctx) {
 
 func (p *eliminationProgram) Round(c *dist.Ctx, inbox []dist.Message) {
 	for _, m := range inbox {
-		p.nbrB[m.From] = m.F0
+		p.nbrB.Set(m.From, m.F0)
 	}
 	arcs := c.Neighbors()
 	nb, auxArcs := p.upd.Step(func(i int) float64 {
-		to := arcs[i].To
-		if to == p.id {
-			return p.b // self-loop sees the node's own value
-		}
-		return p.nbrB[to]
+		return p.nbrB.ArcVal(i, p.b) // a self-loop arc sees the node's own value
 	})
 	p.b = p.lam.RoundDown(nb)
 	if c.Round() >= p.T {

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"sort"
+
+	"distkcore/internal/graph"
+)
+
+// PeerTable tracks the latest scalar heard from each distinct neighbor,
+// indexed by the neighbor's rank in the runtime's sorted peer list — the
+// flat replacement for the map[NodeID]float64 the synchronous protocols
+// used to keep per node (DESIGN.md §7). Two dense arrays replace the hash
+// table: vals, one slot per distinct neighbor, and arcRank, the
+// precomputed arc-index → peer-rank translation the Update subroutine
+// queries once per incident arc per round.
+type PeerTable struct {
+	peers   []graph.NodeID
+	vals    []float64
+	arcRank []int32 // arc index → peer rank; -1 for a self-loop arc
+}
+
+// NewPeerTable builds the table for a node: arcs and peers are the node's
+// runtime topology (peers must be sorted ascending, as Ctx.Peers
+// guarantees), id its own ID, and init the value every neighbor starts at.
+func NewPeerTable(id graph.NodeID, arcs []graph.Arc, peers []graph.NodeID, init float64) PeerTable {
+	t := PeerTable{
+		peers:   peers,
+		vals:    make([]float64, len(peers)),
+		arcRank: make([]int32, len(arcs)),
+	}
+	for i := range t.vals {
+		t.vals[i] = init
+	}
+	for i, a := range arcs {
+		if a.To == id {
+			t.arcRank[i] = -1
+		} else {
+			t.arcRank[i] = int32(sort.SearchInts(peers, a.To))
+		}
+	}
+	return t
+}
+
+// Set records v as the latest value heard from neighbor `from`.
+func (t *PeerTable) Set(from graph.NodeID, v float64) {
+	t.vals[sort.SearchInts(t.peers, from)] = v
+}
+
+// Get returns the latest value heard from neighbor `from`.
+func (t *PeerTable) Get(from graph.NodeID) float64 {
+	return t.vals[sort.SearchInts(t.peers, from)]
+}
+
+// ArcVal returns the latest value of the neighbor at arc index i, or self
+// for a self-loop arc (the node sees its own current value there) — the
+// bOf lookup of Updater.Step.
+func (t *PeerTable) ArcVal(i int, self float64) float64 {
+	if rk := t.arcRank[i]; rk >= 0 {
+		return t.vals[rk]
+	}
+	return self
+}

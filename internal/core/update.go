@@ -33,7 +33,38 @@ type Updater struct {
 	arcs  []graph.Arc
 	order []int // arc indices, maintained across rounds
 	vals  []float64
+	srt   byVal // reusable sort.Interface over (order, vals): keeps Step allocation-free
 }
+
+// byVal stable-sorts an arc-index permutation by the current surviving
+// numbers. It is a named sort.Interface (rather than a sort.SliceStable
+// closure) so the per-round sort in Updater.Step costs zero allocations —
+// Step runs once per node per round on every engine's hot path.
+type byVal struct {
+	order []int
+	vals  []float64
+}
+
+func (s *byVal) Len() int           { return len(s.order) }
+func (s *byVal) Less(a, b int) bool { return s.vals[s.order[a]] < s.vals[s.order[b]] }
+func (s *byVal) Swap(a, b int)      { s.order[a], s.order[b] = s.order[b], s.order[a] }
+
+// byArcID orders arc indices by (neighbor ID, arc index) for the initial
+// tie-breaking order.
+type byArcID struct {
+	order []int
+	arcs  []graph.Arc
+}
+
+func (s *byArcID) Len() int { return len(s.order) }
+func (s *byArcID) Less(a, b int) bool {
+	ia, ib := s.order[a], s.order[b]
+	if s.arcs[ia].To != s.arcs[ib].To {
+		return s.arcs[ia].To < s.arcs[ib].To
+	}
+	return ia < ib
+}
+func (s *byArcID) Swap(a, b int) { s.order[a], s.order[b] = s.order[b], s.order[a] }
 
 // NewUpdater creates the Update state for a node with the given incident
 // arcs. The initial order is by (neighbor ID, arc index), realizing the
@@ -44,13 +75,8 @@ func NewUpdater(arcs []graph.Arc) *Updater {
 	for i := range u.order {
 		u.order[i] = i
 	}
-	sort.SliceStable(u.order, func(a, b int) bool {
-		ia, ib := u.order[a], u.order[b]
-		if u.arcs[ia].To != u.arcs[ib].To {
-			return u.arcs[ia].To < u.arcs[ib].To
-		}
-		return ia < ib
-	})
+	sort.Stable(&byArcID{order: u.order, arcs: arcs})
+	u.srt = byVal{order: u.order, vals: u.vals}
 	return u
 }
 
@@ -73,6 +99,10 @@ func (u *Updater) Degree() float64 {
 // endpoint has a strictly "higher" surviving number under the maintained
 // order, plus the pivot when the vertex-induced case applies). The
 // maintained order is updated as a side effect.
+//
+// aux is a subslice of the maintained order, valid only until the next Step
+// call; callers that retain it across rounds must copy. Step performs no
+// heap allocations.
 func (u *Updater) Step(bOf func(arcIdx int) float64) (b float64, aux []int) {
 	d := len(u.order)
 	if d == 0 {
@@ -83,9 +113,7 @@ func (u *Updater) Step(bOf func(arcIdx int) float64) (b float64, aux []int) {
 	}
 	// Stable sort by current value ascending; stability implements the
 	// paper's historical-lexicographic tie-breaking.
-	sort.SliceStable(u.order, func(a, b int) bool {
-		return u.vals[u.order[a]] < u.vals[u.order[b]]
-	})
+	sort.Stable(&u.srt)
 	s := 0.0
 	for i := d - 1; i >= 0; i-- {
 		s += u.arcs[u.order[i]].W
@@ -98,9 +126,9 @@ func (u *Updater) Step(bOf func(arcIdx int) float64) (b float64, aux []int) {
 			if s <= bi {
 				// Vertex-induced case: the node's own mass is the binding
 				// constraint; the pivot edge joins N as well.
-				return s, append([]int(nil), u.order[i:]...)
+				return s, u.order[i:]
 			}
-			return bi, append([]int(nil), u.order[i+1:]...)
+			return bi, u.order[i+1:]
 		}
 	}
 	// Unreachable: at i == 0 the guard s > -∞ always fires.

@@ -55,7 +55,7 @@ type weakProgram struct {
 	// phase 1 state
 	upd  *core.Updater
 	b    float64
-	nbrB map[graph.NodeID]float64
+	nbrB core.PeerTable // latest β per neighbor, flat (DESIGN.md §7)
 
 	// phase 2 state
 	leader   graph.NodeID
@@ -160,10 +160,7 @@ func assembleResult(g *graph.Graph, cfg Config, T int, sink *weakSink) *Result {
 func (p *weakProgram) Init(c *dist.Ctx) {
 	p.upd = core.NewUpdater(c.Neighbors())
 	p.b = math.Inf(1)
-	p.nbrB = make(map[graph.NodeID]float64, len(c.Neighbors()))
-	for _, a := range c.Neighbors() {
-		p.nbrB[a.To] = math.Inf(1)
-	}
+	p.nbrB = core.NewPeerTable(p.id, c.Neighbors(), c.Peers(), math.Inf(1))
 	p.leader = p.id
 	p.parent = p.id
 	p.active = true
@@ -192,15 +189,11 @@ func (p *weakProgram) Round(c *dist.Ctx, inbox []dist.Message) {
 func (p *weakProgram) phase1(c *dist.Ctx, inbox []dist.Message, t int) {
 	for _, m := range inbox {
 		if m.Kind == kElim {
-			p.nbrB[m.From] = m.F0
+			p.nbrB.Set(m.From, m.F0)
 		}
 	}
-	arcs := c.Neighbors()
 	nb, _ := p.upd.Step(func(i int) float64 {
-		if arcs[i].To == p.id {
-			return p.b
-		}
-		return p.nbrB[arcs[i].To]
+		return p.nbrB.ArcVal(i, p.b) // a self-loop arc sees the node's own value
 	})
 	p.b = nb
 	if t < p.T {

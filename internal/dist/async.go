@@ -156,7 +156,7 @@ func RunAsync(g *graph.Graph, factory AsyncFactory, d DelayModel, maxEvents int6
 		ctxs[v] = &AsyncCtx{
 			id:    v,
 			arcs:  g.Adj(v),
-			peers: peersOf(g, v),
+			peers: g.Peers(v),
 			wdeg:  g.WeightedDegree(v),
 			run:   run,
 		}

@@ -31,6 +31,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"distkcore/internal/graph"
 	"distkcore/internal/quantize"
@@ -123,16 +124,16 @@ type envelope struct {
 // meant for tests; the default build pays one branch per send.
 var CheckVecAliasing bool
 
-// vecHash is FNV-1a over the float bit patterns of v.
+// vecHash is a word-granular FNV-1a variant over the float bit patterns of
+// v: each Float64bits word is folded in with one xor and one multiply by the
+// 64-bit FNV prime, instead of the byte-at-a-time inner loop (8× fewer
+// multiplies on the CheckVecAliasing hot path). The exact values are pinned
+// by TestVecHashPinned so the aliasing panics stay deterministic across
+// builds.
 func vecHash(v []float64) uint64 {
 	h := uint64(1469598103934665603)
 	for _, x := range v {
-		b := math.Float64bits(x)
-		for i := 0; i < 8; i++ {
-			h ^= b & 0xff
-			h *= 1099511628211
-			b >>= 8
-		}
+		h = (h ^ math.Float64bits(x)) * 1099511628211
 	}
 	return h
 }
@@ -197,18 +198,31 @@ func (c *Ctx) Send(to graph.NodeID, m Message) {
 	c.out = append(c.out, envelope{to: to, m: m, vh: vh})
 }
 
+// Peers returns the node's distinct neighbors, self excluded, ascending —
+// the recipients of Broadcast. The slice is shared topology state; the
+// caller must not modify it.
+func (c *Ctx) Peers() []graph.NodeID { return c.peers }
+
 // Halt marks the node as terminated: its Round hook will not be called
 // again and messages addressed to it are dropped. Messages it sent during
-// the halting round are still delivered.
-func (c *Ctx) Halt() { c.halted = true }
+// the halting round are still delivered. The runtime retires the node at
+// the next delivery, maintaining the alive count incrementally (no per-round
+// rescan; the counter is atomic because the parallel engines run hooks —
+// and therefore Halts — concurrently).
+func (c *Ctx) Halt() {
+	if !c.halted {
+		c.halted = true
+		c.sim.haltedNow.Add(1)
+	}
+}
 
 // Mutex returns a mutex shared by all nodes of the run, for guarding
 // writes to a result sink from program hooks. (The parallel engine runs
 // hooks concurrently; per-node state needs no locking, shared sinks do.)
 func (c *Ctx) Mutex() *sync.Mutex { return &c.sim.mu }
 
-// isPeerOf reports membership in a sorted distinct-peer list (peersOf's
-// output shape, shared by the sync and async contexts).
+// isPeerOf reports membership in a sorted distinct-peer list (the
+// graph.Peers shape shared by the sync and async contexts).
 func isPeerOf(peers []graph.NodeID, v graph.NodeID) bool {
 	i := sort.SearchInts(peers, v)
 	return i < len(peers) && peers[i] == v
@@ -219,56 +233,63 @@ func isPeerOf(peers []graph.NodeID, v graph.NodeID) bool {
 // single place messages move and metrics accumulate, and it always runs
 // single-threaded (between barriers in the parallel engine), which is what
 // keeps the two engines execution-identical.
+//
+// Mailboxes are round arenas (DESIGN.md §7): every round's inboxes live in
+// one shared backing array sized by a counting pass over the send queues,
+// and inboxOf(v) is a subslice of it. The contexts' send queues are likewise
+// carved out of a single backing array at construction, segmented by each
+// node's broadcast fan-out (a node that sends more in one round falls back
+// to an ordinary append-grown slice, trading the arena for correctness).
 type sim struct {
-	g         *graph.Graph
-	lam       quantize.Lambda
-	progs     []Program
-	ctxs      []*Ctx
-	inbox     [][]Message
-	alive     int
-	mu        sync.Mutex
-	met       Metrics
-	vecChecks []vecCheck // delivered Vecs awaiting verification (CheckVecAliasing)
+	g          *graph.Graph
+	lam        quantize.Lambda
+	progs      []Program
+	ctxs       []Ctx
+	inboxArena []Message
+	inboxOff   []int32 // n+1 offsets into inboxArena, rebuilt each delivery
+	cnt        []int32 // per-node counting/cursor scratch, zeroed between rounds
+	alive      int
+	haltedNow  atomic.Int32 // Halts since the last delivery retired them
+	mu         sync.Mutex
+	met        Metrics
+	vecChecks  []vecCheck // delivered Vecs awaiting verification (CheckVecAliasing)
 }
 
 func newSim(g *graph.Graph, lam quantize.Lambda, factory Factory) *sim {
 	n := g.N()
 	s := &sim{
-		g:     g,
-		lam:   lam,
-		progs: make([]Program, n),
-		ctxs:  make([]*Ctx, n),
-		inbox: make([][]Message, n),
-		alive: n,
+		g:        g,
+		lam:      lam,
+		progs:    make([]Program, n),
+		ctxs:     make([]Ctx, n),
+		inboxOff: make([]int32, n+1),
+		cnt:      make([]int32, n),
+		alive:    n,
 	}
 	if s.lam == nil {
 		s.lam = quantize.Reals{}
 	}
+	outArena := make([]envelope, 0, g.NumPeerSlots())
 	for v := 0; v < n; v++ {
-		s.ctxs[v] = &Ctx{id: v, arcs: g.Adj(v), peers: peersOf(g, v), sim: s}
+		c := &s.ctxs[v]
+		c.id = v
+		c.arcs = g.Adj(v)
+		c.peers = g.Peers(v)
+		c.sim = s
+		// Full-capacity zero-length segment: one Broadcast per round fits
+		// without ever reallocating.
+		lo := len(outArena)
+		outArena = outArena[:lo+len(c.peers)]
+		c.out = outArena[lo:lo:len(outArena)]
 		s.progs[v] = factory(v)
 	}
 	return s
 }
 
-// peersOf returns the distinct neighbors of v, self excluded, ascending.
-func peersOf(g *graph.Graph, v graph.NodeID) []graph.NodeID {
-	arcs := g.Adj(v)
-	peers := make([]graph.NodeID, 0, len(arcs))
-	for _, a := range arcs {
-		if a.To != v {
-			peers = append(peers, a.To)
-		}
-	}
-	sort.Ints(peers)
-	j := 0
-	for i, p := range peers {
-		if i == 0 || p != peers[j-1] {
-			peers[j] = p
-			j++
-		}
-	}
-	return peers[:j]
+// inboxOf returns node v's current-round inbox — a subslice of the shared
+// round arena, valid until the next delivery.
+func (s *sim) inboxOf(v graph.NodeID) []Message {
+	return s.inboxArena[s.inboxOff[v]:s.inboxOff[v+1]]
 }
 
 // RouteFunc is the transport hook of Driver.Deliver: the engine's delivery
@@ -296,11 +317,35 @@ func (s *sim) deliverVia(route RouteFunc) {
 	if CheckVecAliasing {
 		s.verifyDeliveredVecs()
 	}
-	for v := range s.inbox {
-		s.inbox[v] = s.inbox[v][:0]
+	n := len(s.ctxs)
+	// Counting pass: how many messages each live receiver gets this round.
+	// Halted flags are stable here (they only change inside hooks), so the
+	// counts match the fill pass exactly.
+	for v := 0; v < n; v++ {
+		for _, env := range s.ctxs[v].out {
+			if !s.ctxs[env.to].halted {
+				s.cnt[env.to]++
+			}
+		}
 	}
-	for v := 0; v < len(s.ctxs); v++ {
-		c := s.ctxs[v]
+	// Prefix sums size the arena; cnt becomes the per-receiver write cursor.
+	total := int32(0)
+	for v := 0; v < n; v++ {
+		s.inboxOff[v] = total
+		total += s.cnt[v]
+		s.cnt[v] = s.inboxOff[v]
+	}
+	s.inboxOff[n] = total
+	if cap(s.inboxArena) < int(total) {
+		s.inboxArena = make([]Message, total)
+	} else {
+		s.inboxArena = s.inboxArena[:total]
+	}
+	// Fill pass in the deterministic global order: ascending sender ID, ties
+	// in send order. Receivers are filled through their cursors, so each
+	// inbox comes out ordered by sender — the determinism contract.
+	for v := 0; v < n; v++ {
+		c := &s.ctxs[v]
 		for _, env := range c.out {
 			s.met.Messages++
 			s.met.Words += int64(env.m.Words())
@@ -313,7 +358,8 @@ func (s *sim) deliverVia(route RouteFunc) {
 				m = route(env.m.From, env.to, env.m)
 			}
 			if !s.ctxs[env.to].halted {
-				s.inbox[env.to] = append(s.inbox[env.to], m)
+				s.inboxArena[s.cnt[env.to]] = m
+				s.cnt[env.to]++
 				if CheckVecAliasing && len(m.Vec) > 0 {
 					s.vecChecks = append(s.vecChecks, vecCheck{vec: m.Vec, h: vecHash(m.Vec)})
 				}
@@ -321,13 +367,12 @@ func (s *sim) deliverVia(route RouteFunc) {
 		}
 		c.out = c.out[:0]
 	}
-	alive := 0
-	for _, c := range s.ctxs {
-		if !c.halted {
-			alive++
-		}
+	for v := 0; v < n; v++ {
+		s.cnt[v] = 0
 	}
-	s.alive = alive
+	// Retire the round's Halts incrementally instead of rescanning all n
+	// contexts.
+	s.alive -= int(s.haltedNow.Swap(0))
 }
 
 // verifyDeliveredVecs re-hashes every Vec delivered in the previous round —

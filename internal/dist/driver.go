@@ -39,7 +39,7 @@ func (d *Driver) Halted(v graph.NodeID) bool { return d.s.ctxs[v].halted }
 // Concurrent Steps are safe for distinct v; the engine must barrier before
 // calling Deliver.
 func (d *Driver) Step(v graph.NodeID, t int) {
-	c := d.s.ctxs[v]
+	c := &d.s.ctxs[v]
 	if c.halted {
 		return
 	}
@@ -47,7 +47,7 @@ func (d *Driver) Step(v graph.NodeID, t int) {
 	if t == 0 {
 		d.s.progs[v].Init(c)
 	} else {
-		d.s.progs[v].Round(c, d.s.inbox[v])
+		d.s.progs[v].Round(c, d.s.inboxOf(v))
 	}
 }
 

@@ -44,13 +44,13 @@ func (e ParEngine) Run(g *graph.Graph, factory Factory, maxRounds int) Metrics {
 	for v := 0; v < n; v++ {
 		work[v] = make(chan int, 1)
 		go func(v int) {
-			c := s.ctxs[v]
+			c := &s.ctxs[v]
 			for t := range work[v] {
 				c.round = t
 				if t == 0 {
 					s.progs[v].Init(c)
 				} else {
-					s.progs[v].Round(c, s.inbox[v])
+					s.progs[v].Round(c, s.inboxOf(v))
 				}
 				wg.Done()
 			}

@@ -30,19 +30,19 @@ func (e SeqEngine) WithWireLambda(lam quantize.Lambda) Engine {
 func (e SeqEngine) Run(g *graph.Graph, factory Factory, maxRounds int) Metrics {
 	s := newSim(g, e.Lam, factory)
 	for v := 0; v < g.N(); v++ {
-		s.progs[v].Init(s.ctxs[v])
+		s.progs[v].Init(&s.ctxs[v])
 	}
 	s.deliver()
 	rounds := 0
 	for t := 1; t <= maxRounds && s.alive > 0; t++ {
 		rounds = t
 		for v := 0; v < g.N(); v++ {
-			c := s.ctxs[v]
+			c := &s.ctxs[v]
 			if c.halted {
 				continue
 			}
 			c.round = t
-			s.progs[v].Round(c, s.inbox[v])
+			s.progs[v].Round(c, s.inboxOf(v))
 		}
 		s.deliver()
 	}

@@ -53,10 +53,19 @@ type Arc struct {
 
 // Graph is an immutable weighted undirected graph with optional self-loops.
 // Build one with a Builder; the zero value is an empty graph with no nodes.
+//
+// Adjacency is stored in compressed-sparse-row (CSR) form: one flat arc
+// array plus per-node offsets, so Adj(v) is a subslice of shared backing and
+// a full adjacency sweep is a single linear scan. The distinct-neighbor
+// lists consumed by the message-passing runtime (Peers) are precomputed the
+// same way at Build time. See DESIGN.md §7 for the layout.
 type Graph struct {
 	n     int
 	edges []Edge
-	adj   [][]Arc
+	arcs  []Arc    // CSR arc storage; node v owns arcs[off[v]:off[v+1]]
+	off   []int32  // len n+1, ascending
+	peers []NodeID // distinct neighbors, self excluded, ascending per node
+	poff  []int32  // len n+1, ascending
 	wdeg  []float64
 	totW  float64
 	loops int
@@ -100,14 +109,33 @@ func (b *Builder) NumEdges() int { return len(b.edges) }
 
 // Build finalizes the Builder into an immutable Graph. The Builder may be
 // reused afterwards (Build copies the edge list).
+//
+// The arc order within each node's adjacency list is the edge insertion
+// order (for an edge {u,v}, u's copy and v's copy are both placed by the
+// edge's position in the list) — the same order the historical per-node
+// append construction produced, which is what keeps executions of the
+// message-passing runtime reproducible across Builder implementations
+// (asserted by TestCSRMatchesEdgeListReference).
 func (b *Builder) Build() *Graph {
+	narcs := 0
+	for _, e := range b.edges {
+		narcs += 2
+		if e.IsLoop() {
+			narcs--
+		}
+	}
+	if narcs > math.MaxInt32 {
+		panic("graph: arc count overflows CSR offsets")
+	}
 	g := &Graph{
 		n:     b.n,
 		edges: append([]Edge(nil), b.edges...),
-		adj:   make([][]Arc, b.n),
+		arcs:  make([]Arc, narcs),
+		off:   make([]int32, b.n+1),
 		wdeg:  make([]float64, b.n),
 	}
-	deg := make([]int, b.n)
+	// Counting pass: arc degree per node, then prefix sums into offsets.
+	deg := make([]int32, b.n)
 	for _, e := range g.edges {
 		deg[e.U]++
 		if !e.IsLoop() {
@@ -115,14 +143,19 @@ func (b *Builder) Build() *Graph {
 		}
 	}
 	for v := 0; v < b.n; v++ {
-		g.adj[v] = make([]Arc, 0, deg[v])
+		g.off[v+1] = g.off[v] + deg[v]
 	}
+	// Fill pass in edge order, reusing deg as per-node write cursors.
+	cur := deg
+	copy(cur, g.off[:b.n])
 	for id, e := range g.edges {
-		g.adj[e.U] = append(g.adj[e.U], Arc{To: e.V, W: e.W, EdgeID: id})
+		g.arcs[cur[e.U]] = Arc{To: e.V, W: e.W, EdgeID: id}
+		cur[e.U]++
 		if e.IsLoop() {
 			g.loops++
 		} else {
-			g.adj[e.V] = append(g.adj[e.V], Arc{To: e.U, W: e.W, EdgeID: id})
+			g.arcs[cur[e.V]] = Arc{To: e.U, W: e.W, EdgeID: id}
+			cur[e.V]++
 		}
 		g.wdeg[e.U] += e.W
 		if !e.IsLoop() {
@@ -130,7 +163,48 @@ func (b *Builder) Build() *Graph {
 		}
 		g.totW += e.W
 	}
+	g.buildPeers()
 	return g
+}
+
+// buildPeers fills the flat distinct-neighbor lists (peers/poff) in O(n+m)
+// without any per-node sort: scanning source nodes u in ascending order and
+// appending u to the list of every neighbor emits each node's peers already
+// ascending, and parallel {u,w} edges append to w's list consecutively, so a
+// last-written check deduplicates them.
+func (g *Graph) buildPeers() {
+	g.poff = make([]int32, g.n+1)
+	last := make([]int32, g.n) // last[w]-1 = most recent u recorded as a peer of w
+	cnt := make([]int32, g.n)
+	for u := 0; u < g.n; u++ {
+		for _, a := range g.Adj(u) {
+			if a.To != u && last[a.To] != int32(u)+1 {
+				last[a.To] = int32(u) + 1
+				cnt[a.To]++
+			}
+		}
+	}
+	total := int32(0)
+	for v := 0; v < g.n; v++ {
+		g.poff[v] = total
+		total += cnt[v]
+	}
+	g.poff[g.n] = total
+	g.peers = make([]NodeID, total)
+	cur := cnt
+	copy(cur, g.poff[:g.n])
+	for i := range last {
+		last[i] = 0
+	}
+	for u := 0; u < g.n; u++ {
+		for _, a := range g.Adj(u) {
+			if a.To != u && last[a.To] != int32(u)+1 {
+				last[a.To] = int32(u) + 1
+				g.peers[cur[a.To]] = u
+				cur[a.To]++
+			}
+		}
+	}
 }
 
 // N returns the number of nodes.
@@ -146,11 +220,22 @@ func (g *Graph) NumLoops() int { return g.loops }
 func (g *Graph) Edges() []Edge { return g.edges }
 
 // Adj returns the adjacency list of v (one Arc per incident edge; a self-loop
-// appears once). The caller must not modify it.
-func (g *Graph) Adj(v NodeID) []Arc { return g.adj[v] }
+// appears once). It is a subslice of the graph's shared CSR arc array; the
+// caller must not modify it.
+func (g *Graph) Adj(v NodeID) []Arc { return g.arcs[g.off[v]:g.off[v+1]] }
 
 // Degree returns the number of incident edges of v (self-loop counts once).
-func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v NodeID) int { return int(g.off[v+1] - g.off[v]) }
+
+// Peers returns the distinct neighbors of v, self excluded, ascending — the
+// exact set Broadcast of the message-passing runtime delivers to. It is a
+// subslice of shared backing precomputed at Build time; the caller must not
+// modify it.
+func (g *Graph) Peers(v NodeID) []NodeID { return g.peers[g.poff[v]:g.poff[v+1]] }
+
+// NumPeerSlots returns Σ_v |Peers(v)| — the total broadcast fan-out of the
+// graph, which the runtime uses to size its send arenas.
+func (g *Graph) NumPeerSlots() int { return len(g.peers) }
 
 // WeightedDegree returns deg(v) = Σ_{e : v ∈ e} w(e).
 func (g *Graph) WeightedDegree(v NodeID) float64 { return g.wdeg[v] }
@@ -359,7 +444,7 @@ func (g *Graph) Diameter() (d int, connected bool) {
 			if dist[v] > d {
 				d = dist[v]
 			}
-			for _, a := range g.adj[v] {
+			for _, a := range g.Adj(v) {
 				if dist[a.To] < 0 {
 					dist[a.To] = dist[v] + 1
 					queue = append(queue, a.To)
@@ -385,7 +470,7 @@ func (g *Graph) BFSDistances(src NodeID) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, a := range g.adj[v] {
+		for _, a := range g.Adj(v) {
 			if dist[a.To] < 0 {
 				dist[a.To] = dist[v] + 1
 				queue = append(queue, a.To)
@@ -412,7 +497,7 @@ func (g *Graph) ConnectedComponents() (label []int, count int) {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, a := range g.adj[v] {
+			for _, a := range g.Adj(v) {
 				if label[a.To] < 0 {
 					label[a.To] = count
 					queue = append(queue, a.To)

@@ -108,8 +108,12 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 	// frames[s*p+q] batches this round's s→q traffic. route runs inside
 	// Deliver (single-threaded), appends each cross-shard message to its
 	// frame and returns the decode of the bytes just written — the
-	// round trip that ties the accounting to the execution.
-	frames := make([]frameBuf, p*p)
+	// round trip that ties the accounting to the execution. The buffer
+	// matrix comes from a sync.Pool, so repeated runs reuse the grown
+	// encode buffers instead of allocating fresh ones.
+	fs := getFrameSet(p)
+	defer putFrameSet(fs)
+	frames := fs.frames
 	route := func(from, to graph.NodeID, m dist.Message) dist.Message {
 		sf, df := assign[from], assign[to]
 		if sf == df {

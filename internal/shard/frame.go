@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"distkcore/internal/codec"
 	"distkcore/internal/dist"
@@ -41,6 +42,34 @@ type frameBuf struct {
 	buf   []byte
 	count int
 }
+
+// frameSet is the p×p matrix of frame buffers of one run. Sets are recycled
+// through framePool so the encode buffers — grown to each shard pair's
+// steady-state frame size — survive across runs instead of being
+// reallocated per Engine.Run.
+type frameSet struct {
+	frames []frameBuf
+}
+
+var framePool = sync.Pool{New: func() any { return new(frameSet) }}
+
+// getFrameSet returns a frame matrix for p shards with every buffer empty.
+// Return it with putFrameSet when the run is done.
+func getFrameSet(p int) *frameSet {
+	fs := framePool.Get().(*frameSet)
+	if cap(fs.frames) < p*p {
+		fs.frames = make([]frameBuf, p*p)
+		return fs
+	}
+	fs.frames = fs.frames[:p*p]
+	for i := range fs.frames {
+		fs.frames[i].buf = fs.frames[i].buf[:0]
+		fs.frames[i].count = 0
+	}
+	return fs
+}
+
+func putFrameSet(fs *frameSet) { framePool.Put(fs) }
 
 // appendMessage appends the body encoding of m (addressed to node `to`)
 // under lam.

@@ -1,0 +1,129 @@
+// Pinned-execution regression tests for the memory-layout refactor (PR 3,
+// DESIGN.md §7): the CSR graph core, the arena mailboxes and the pooled
+// shard frames must preserve byte-identical executions, so every Metrics
+// value below was captured on the pre-refactor edge-list/append runtime and
+// asserted verbatim ever since. A diff here means the substrate changed
+// *semantics*, not just layout — treat it as a bug, not as a number to
+// update.
+package distkcore_test
+
+import (
+	"math"
+	"testing"
+
+	"distkcore/internal/core"
+	"distkcore/internal/densest"
+	"distkcore/internal/dist"
+	"distkcore/internal/graph"
+	"distkcore/internal/quantize"
+	"distkcore/internal/shard"
+)
+
+func pinnedGraphs() []struct {
+	name string
+	g    *graph.Graph
+} {
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ba500", graph.BarabasiAlbert(500, 3, 2)},
+		{"ws400", graph.WattsStrogatz(400, 6, 0.1, 5)},
+		{"er300", graph.ErdosRenyi(300, 0.05, 11)},
+	}
+}
+
+// TestPinnedEngineMetrics replays coreness (exact and quantized Λ) and the
+// weak densest protocol on all three engines and asserts the full Metrics
+// against the pre-refactor captures.
+func TestPinnedEngineMetrics(t *testing.T) {
+	want := []struct {
+		graph, engine, run string
+		m                  dist.Metrics
+	}{
+		{"ba500", "seq", "core", dist.Metrics{Rounds: 16, Messages: 47808, Words: 47808, WireBytes: 454400, Halted: true}},
+		{"ba500", "seq", "coreQ", dist.Metrics{Rounds: 16, Messages: 47808, Words: 47808, WireBytes: 119744, Halted: true}},
+		{"ba500", "seq", "weak", dist.Metrics{Rounds: 57, Messages: 115612, Words: 131580, WireBytes: 1406785, Halted: true}},
+		{"ba500", "par", "core", dist.Metrics{Rounds: 16, Messages: 47808, Words: 47808, WireBytes: 454400, Halted: true}},
+		{"ba500", "par", "coreQ", dist.Metrics{Rounds: 16, Messages: 47808, Words: 47808, WireBytes: 119744, Halted: true}},
+		{"ba500", "par", "weak", dist.Metrics{Rounds: 57, Messages: 115612, Words: 131580, WireBytes: 1406785, Halted: true}},
+		{"ba500", "shard3greedy", "core", dist.Metrics{Rounds: 16, Messages: 47808, Words: 47808, WireBytes: 454400, Halted: true}},
+		{"ba500", "shard3greedy", "coreQ", dist.Metrics{Rounds: 16, Messages: 47808, Words: 47808, WireBytes: 119744, Halted: true}},
+		{"ba500", "shard3greedy", "weak", dist.Metrics{Rounds: 57, Messages: 115612, Words: 131580, WireBytes: 1406785, Halted: true}},
+		{"ws400", "seq", "core", dist.Metrics{Rounds: 15, Messages: 36000, Words: 36000, WireBytes: 348405, Halted: true}},
+		{"ws400", "seq", "coreQ", dist.Metrics{Rounds: 15, Messages: 36000, Words: 36000, WireBytes: 96405, Halted: true}},
+		{"ws400", "seq", "weak", dist.Metrics{Rounds: 64, Messages: 107756, Words: 119726, WireBytes: 1386336, Halted: true}},
+		{"ws400", "par", "core", dist.Metrics{Rounds: 15, Messages: 36000, Words: 36000, WireBytes: 348405, Halted: true}},
+		{"ws400", "par", "coreQ", dist.Metrics{Rounds: 15, Messages: 36000, Words: 36000, WireBytes: 96405, Halted: true}},
+		{"ws400", "par", "weak", dist.Metrics{Rounds: 64, Messages: 107756, Words: 119726, WireBytes: 1386336, Halted: true}},
+		{"ws400", "shard3greedy", "core", dist.Metrics{Rounds: 15, Messages: 36000, Words: 36000, WireBytes: 348405, Halted: true}},
+		{"ws400", "shard3greedy", "coreQ", dist.Metrics{Rounds: 15, Messages: 36000, Words: 36000, WireBytes: 96405, Halted: true}},
+		{"ws400", "shard3greedy", "weak", dist.Metrics{Rounds: 64, Messages: 107756, Words: 119726, WireBytes: 1386336, Halted: true}},
+		{"er300", "seq", "core", dist.Metrics{Rounds: 15, Messages: 67740, Words: 67740, WireBytes: 648210, Halted: true}},
+		{"er300", "seq", "coreQ", dist.Metrics{Rounds: 15, Messages: 67740, Words: 67740, WireBytes: 174030, Halted: true}},
+		{"er300", "seq", "weak", dist.Metrics{Rounds: 52, Messages: 201207, Words: 210177, WireBytes: 2462851, Halted: true}},
+		{"er300", "par", "core", dist.Metrics{Rounds: 15, Messages: 67740, Words: 67740, WireBytes: 648210, Halted: true}},
+		{"er300", "par", "coreQ", dist.Metrics{Rounds: 15, Messages: 67740, Words: 67740, WireBytes: 174030, Halted: true}},
+		{"er300", "par", "weak", dist.Metrics{Rounds: 52, Messages: 201207, Words: 210177, WireBytes: 2462851, Halted: true}},
+		{"er300", "shard3greedy", "core", dist.Metrics{Rounds: 15, Messages: 67740, Words: 67740, WireBytes: 648210, Halted: true}},
+		{"er300", "shard3greedy", "coreQ", dist.Metrics{Rounds: 15, Messages: 67740, Words: 67740, WireBytes: 174030, Halted: true}},
+		{"er300", "shard3greedy", "weak", dist.Metrics{Rounds: 52, Messages: 201207, Words: 210177, WireBytes: 2462851, Halted: true}},
+	}
+	engines := map[string]dist.Engine{
+		"seq":          dist.SeqEngine{},
+		"par":          dist.ParEngine{},
+		"shard3greedy": shard.NewEngine(3, shard.Greedy{}),
+	}
+	for _, gg := range pinnedGraphs() {
+		T := core.TForEpsilon(gg.g.N(), 0.5)
+		for _, w := range want {
+			if w.graph != gg.name {
+				continue
+			}
+			var got dist.Metrics
+			switch w.run {
+			case "core":
+				_, got = core.RunDistributed(gg.g, core.Options{Rounds: T}, engines[w.engine])
+			case "coreQ":
+				_, got = core.RunDistributed(gg.g, core.Options{Rounds: T, Lambda: quantize.NewPowerGrid(0.1)}, engines[w.engine])
+			case "weak":
+				_, got = densest.RunWeakDistributed(gg.g, densest.Config{Gamma: 3}, engines[w.engine])
+			}
+			if got != w.m {
+				t.Errorf("%s/%s/%s: Metrics drifted from pre-refactor capture:\n got  %+v\n want %+v",
+					w.graph, w.engine, w.run, got, w.m)
+			}
+		}
+	}
+}
+
+// TestPinnedCorenessValues hashes the surviving numbers themselves, so a
+// change in adjacency or delivery order that alters tie-breaking (while
+// staying within the approximation guarantee) is still caught.
+func TestPinnedCorenessValues(t *testing.T) {
+	hashB := func(b []float64) uint64 {
+		h := uint64(1469598103934665603)
+		for _, x := range b {
+			v := math.Float64bits(x)
+			for i := 0; i < 8; i++ {
+				h ^= v & 0xff
+				h *= 1099511628211
+				v >>= 8
+			}
+		}
+		return h
+	}
+	want := map[string]uint64{
+		"ba500": 0x3f99d538b0ed0a83,
+		"ws400": 0xb5dc2ab3ac391ca7,
+		"er300": 0xbf7f04e41b8a9c27,
+	}
+	for _, gg := range pinnedGraphs() {
+		T := core.TForEpsilon(gg.g.N(), 0.5)
+		res, _ := core.RunDistributed(gg.g, core.Options{Rounds: T}, dist.SeqEngine{})
+		if got := hashB(res.B); got != want[gg.name] {
+			t.Errorf("%s: surviving numbers drifted from pre-refactor capture: hash %#x, want %#x",
+				gg.name, got, want[gg.name])
+		}
+	}
+}
