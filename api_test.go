@@ -165,6 +165,26 @@ func TestShardedEngineAPI(t *testing.T) {
 	}
 }
 
+func TestNetworkEngineAPI(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 3, 23)
+	T := distkcore.RoundsFor(g.N(), 0.5)
+	ref, refMet := distkcore.RunDistributedOn(g, T, distkcore.SequentialEngine())
+	eng := distkcore.NetworkEngine(4, distkcore.GreedyPartitioner())
+	res, met := distkcore.RunDistributedOn(g, T, eng)
+	if met != refMet {
+		t.Fatalf("metrics %+v, want %+v", met, refMet)
+	}
+	for v := range ref.B {
+		if res.B[v] != ref.B[v] {
+			t.Fatalf("β(%d) diverges from sequential", v)
+		}
+	}
+	cm := eng.ClusterMetrics()
+	if cm.P != 4 || cm.CrossMessages == 0 || cm.CrossFrameBytes == 0 {
+		t.Fatalf("implausible cluster metrics %+v", cm)
+	}
+}
+
 func TestRoundsForAndPowerGrid(t *testing.T) {
 	if distkcore.RoundsFor(1024, 1.0) != 10 {
 		t.Fatal("RoundsFor wrong")

@@ -24,7 +24,9 @@ import (
 	"distkcore/internal/external"
 	"distkcore/internal/graph"
 	"distkcore/internal/hyper"
+	dnet "distkcore/internal/net"
 	"distkcore/internal/orient"
+	"distkcore/internal/quantize"
 	"distkcore/internal/shard"
 )
 
@@ -106,13 +108,16 @@ func BenchmarkExactConvergence10k(b *testing.B) {
 func BenchmarkSeqEngine5k(b *testing.B) { benchEngine(b, dist.SeqEngine{}) }
 func BenchmarkParEngine5k(b *testing.B) { benchEngine(b, dist.ParEngine{}) }
 
-// BenchmarkEngines puts all three execution engines head to head on the
+// BenchmarkEngines puts the four execution engines head to head on the
 // same 5k-node run (CI smoke-runs it with -bench=Engine -benchtime=1x).
-// The sharded rows additionally report the cross-shard frame volume the
-// run would ship in a real deployment.
+// The cluster rows additionally report the cross-shard frame volume the
+// run ships; the net rows pay for real record IO (and, on the unix row,
+// kernel round trips) on top of it.
 func BenchmarkEngines(b *testing.B) {
 	g := benchGraph(5_000)
 	T := core.TForEpsilon(5_000, 0.5)
+	unixNet := dnet.NewEngine(4, shard.Greedy{})
+	unixNet.Transport = dnet.TransportUnix
 	cases := []struct {
 		name string
 		eng  dist.Engine
@@ -122,6 +127,8 @@ func BenchmarkEngines(b *testing.B) {
 		{"shard4-greedy", shard.NewEngine(4, shard.Greedy{})},
 		{"shard16-greedy", shard.NewEngine(16, shard.Greedy{})},
 		{"shard16-hash", shard.NewEngine(16, shard.Hash{})},
+		{"net4-greedy-pipe", dnet.NewEngine(4, shard.Greedy{})},
+		{"net4-greedy-unix", unixNet},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
@@ -129,10 +136,57 @@ func BenchmarkEngines(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				core.RunDistributed(g, core.Options{Rounds: T}, c.eng)
 			}
-			if se, ok := c.eng.(*shard.Engine); ok {
-				b.ReportMetric(float64(se.ShardMetrics().CrossFrameBytes), "frameB/run")
+			switch e := c.eng.(type) {
+			case *shard.Engine:
+				b.ReportMetric(float64(e.ShardMetrics().CrossFrameBytes), "frameB/run")
+			case *dnet.Engine:
+				b.ReportMetric(float64(e.ClusterMetrics().CrossFrameBytes), "frameB/run")
 			}
 		})
+	}
+}
+
+// TestFrameVecDecodePooled pins the PR 3 follow-up fix: decoding a frame
+// full of Vec-carrying messages through a VecArena must not allocate per
+// message (the arena hands out blocks that are recycled every round),
+// while the arena-less path — what a correctness test that retains decoded
+// messages uses — allocates one slice per Vec. The absolute bound is the
+// allocs/op assertion guarding the regression.
+func TestFrameVecDecodePooled(t *testing.T) {
+	lam := quantize.NewPowerGrid(0.1)
+	const msgs = 1000
+	var buf []byte
+	for i := 0; i < msgs; i++ {
+		buf = shard.AppendMessage(buf, lam, graph.NodeID(i+1), dist.Message{
+			From: graph.NodeID(i),
+			F0:   float64(i),
+			Vec:  []float64{1, 2, 3, float64(i)},
+		})
+	}
+	decodeAll := func(arena *shard.VecArena) {
+		rest := buf
+		for len(rest) > 0 {
+			_, m, n, err := shard.DecodeMessage(rest, lam, arena)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(m.Vec) != 4 {
+				t.Fatalf("vec length %d", len(m.Vec))
+			}
+			rest = rest[n:]
+		}
+	}
+	arena := new(shard.VecArena)
+	pooled := testing.AllocsPerRun(10, func() {
+		arena.Reset()
+		decodeAll(arena)
+	})
+	if pooled > 4 {
+		t.Fatalf("pooled decode allocates %.0f per %d-message frame, want ≈0", pooled, msgs)
+	}
+	plain := testing.AllocsPerRun(5, func() { decodeAll(nil) })
+	if plain < msgs {
+		t.Fatalf("arena-less decode allocates %.0f, expected ≥ %d — the assertion above is not measuring Vec allocations", plain, msgs)
 	}
 }
 

@@ -1,18 +1,19 @@
 // Command bench runs the substrate and engine benchmarks that track the
 // ROADMAP performance trajectory and writes the results as JSON. CI runs it
-// on every push and uploads the file as an artifact (BENCH_PR3.json), so the
+// on every push and uploads the file as an artifact (BENCH_PR4.json), so the
 // repo accumulates comparable data points over time.
 //
 // Usage:
 //
-//	go run ./cmd/bench -out BENCH_PR3.json -label post-csr
-//	go run ./cmd/bench -against baseline.json -out BENCH_PR3.json
+//	go run ./cmd/bench -out BENCH_PR4.json -label post-socket
+//	go run ./cmd/bench -against baseline.json -out BENCH_PR4.json
 //
-// The benchmark set mirrors BenchmarkEngines (all three execution engines on
-// the same BarabasiAlbert coreness run) plus the substrate micro-benchmarks
-// (graph build, delivery loop) that the CSR/arena refactor targets. With
-// -against, a previous report is embedded as "baseline" and per-benchmark
-// speedups are printed and recorded.
+// The benchmark set mirrors BenchmarkEngines (all four execution engines on
+// the same BarabasiAlbert coreness run — the net rows measure the wire
+// protocol over in-memory pipes and over real unix sockets) plus the
+// substrate micro-benchmarks (graph build, delivery loop) that the
+// CSR/arena refactor targets. With -against, a previous report is embedded
+// as "baseline" and per-benchmark speedups are printed and recorded.
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"distkcore/internal/core"
 	"distkcore/internal/dist"
 	"distkcore/internal/graph"
+	dnet "distkcore/internal/net"
 	"distkcore/internal/shard"
 )
 
@@ -74,7 +76,7 @@ func (f *flood) Round(c *dist.Ctx, inbox []dist.Message) {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR3.json", "output JSON path ('-' for stdout)")
+		out     = flag.String("out", "BENCH_PR4.json", "output JSON path ('-' for stdout)")
 		label   = flag.String("label", "current", "label recorded in the report")
 		n       = flag.Int("n", 10_000, "BarabasiAlbert node count for the engine workload")
 		against = flag.String("against", "", "previous report to embed as baseline")
@@ -93,6 +95,8 @@ func main() {
 		Rounds: T,
 	}
 
+	unixNet := dnet.NewEngine(4, shard.Greedy{})
+	unixNet.Transport = dnet.TransportUnix
 	engines := []struct {
 		name string
 		eng  dist.Engine
@@ -101,6 +105,8 @@ func main() {
 		{"engines/par", dist.ParEngine{}},
 		{"engines/shard4-greedy", shard.NewEngine(4, shard.Greedy{})},
 		{"engines/shard16-hash", shard.NewEngine(16, shard.Hash{})},
+		{"engines/net4-greedy-pipe", dnet.NewEngine(4, shard.Greedy{})},
+		{"engines/net4-greedy-unix", unixNet},
 	}
 	for _, c := range engines {
 		c := c

@@ -1,0 +1,369 @@
+// Command cluster runs a protocol as a real multi-process cluster: one
+// coordinator process plus P worker processes, each owning one shard of
+// the graph, connected by unix-domain or TCP sockets and speaking the wire
+// protocol of internal/net (DESIGN.md §8). The execution — results and
+// dist.Metrics — is byte-identical to the single-process sequential
+// engine, which -verify checks on the spot.
+//
+// Start workers first (each listens for exactly one coordinator
+// connection), then the coordinator:
+//
+//	cluster worker -listen unix:/tmp/dkc-w0.sock
+//	cluster worker -listen unix:/tmp/dkc-w1.sock
+//	cluster coord -workers unix:/tmp/dkc-w0.sock,unix:/tmp/dkc-w1.sock \
+//	    -gen ba -n 10000 -seed 7 -eps 0.5 -part greedy -verify
+//
+// or let the coordinator spawn its own workers over sockets in a temp
+// directory (what the CI smoke job runs):
+//
+//	cluster coord -spawn 4 -gen ba -n 10000 -seed 7 -verify
+//
+// The coordinator ships only the run *description* — a generator spec,
+// the partitioner name, the protocol spec, Λ — and 64-bit digests of the
+// graph and the partition; every worker rebuilds the inputs locally and
+// the handshake refuses to run unless all digests agree. TCP listeners
+// work the same way (-listen tcp:127.0.0.1:7001), but the protocol has no
+// authentication or encryption: keep it on localhost or a trusted link.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"distkcore/internal/cliutil"
+	"distkcore/internal/core"
+	"distkcore/internal/dist"
+	dnet "distkcore/internal/net"
+	"distkcore/internal/quantize"
+	"distkcore/internal/shard"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "worker":
+		runWorker(os.Args[2:])
+	case "coord":
+		runCoord(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cluster worker -listen unix:/path.sock|tcp:host:port
+  cluster coord  (-workers addr,addr,... | -spawn P) -gen ba -n 10000 [-seed S] [-eps E | -T T] [-lambda L] [-part NAME] [-verify] [-json FILE]`)
+	os.Exit(2)
+}
+
+// splitAddr parses "unix:/path" or "tcp:host:port" into a (network,
+// address) pair for net.Listen / net.Dial.
+func splitAddr(s string) (network, addr string, err error) {
+	switch {
+	case strings.HasPrefix(s, "unix:"):
+		return "unix", strings.TrimPrefix(s, "unix:"), nil
+	case strings.HasPrefix(s, "tcp:"):
+		return "tcp", strings.TrimPrefix(s, "tcp:"), nil
+	default:
+		return "", "", fmt.Errorf("bad address %q (want unix:/path or tcp:host:port)", s)
+	}
+}
+
+// runWorker serves exactly one coordinated run: accept the coordinator,
+// resolve the inputs its hello describes, run the protocol as this shard,
+// ship the local result values, exit.
+func runWorker(args []string) {
+	fs := flag.NewFlagSet("cluster worker", flag.ExitOnError)
+	listen := fs.String("listen", "unix:/tmp/dkc-worker.sock", "address to await the coordinator on")
+	fs.Parse(args)
+
+	network, addr, err := splitAddr(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	if network == "unix" {
+		os.Remove(addr) // a stale socket file from a previous run refuses the Listen
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer ln.Close()
+	nc, err := ln.Accept()
+	if err != nil {
+		fatal(err)
+	}
+	c := dnet.NewConn(nc)
+	defer c.Close()
+
+	// Worker.Run panics on protocol violations (its engine interface has no
+	// error channel); surface those as an exit status, not a stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintln(os.Stderr, "cluster worker:", r)
+			os.Exit(1)
+		}
+	}()
+
+	h, err := dnet.ReadHello(c)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := cliutil.LoadGraphSpec(h.GraphSpec)
+	if err != nil {
+		fatalTell(c, err)
+	}
+	part, err := cliutil.ParsePartitioner(h.PartName)
+	if err != nil {
+		fatalTell(c, err)
+	}
+	lam, err := dnet.LambdaFromHello(h)
+	if err != nil {
+		fatalTell(c, err)
+	}
+	T, err := parseProto(h.ProtoSpec)
+	if err != nil {
+		fatalTell(c, err)
+	}
+	assign := part.Partition(g, h.P)
+	w := dnet.NewWorker(c, g, assign)
+	w.Hello = h
+
+	// The worker side of the protocol is just core.RunDistributed with the
+	// Worker as its engine — the same driver stack every other engine runs
+	// under, which is the point: nothing protocol-specific lives here.
+	res, met := core.RunDistributed(g, core.Options{Rounds: T, Lambda: lam}, w)
+	if h.WantValues {
+		if err := w.SendValues(res.B); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("cluster worker: shard %d/%d done: %d nodes, local share %d msgs / %d wire bytes, %d rounds\n",
+		h.Shard, h.P, g.N(), met.Messages, met.WireBytes, met.Rounds)
+}
+
+// parseProto resolves the handshake's protocol spec. Only the coreness
+// elimination ships for now ("coreness:T"); the weak-densest pipeline can
+// slot in the same way once a deployment needs it.
+func parseProto(spec string) (T int, err error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 2 || parts[0] != "coreness" {
+		return 0, fmt.Errorf("unknown protocol spec %q (want coreness:T)", spec)
+	}
+	if T, err = strconv.Atoi(parts[1]); err != nil || T < 1 {
+		return 0, fmt.Errorf("bad round budget in protocol spec %q", spec)
+	}
+	return T, nil
+}
+
+func runCoord(args []string) {
+	fs := flag.NewFlagSet("cluster coord", flag.ExitOnError)
+	var (
+		workers = fs.String("workers", "", "comma-separated worker addresses (unix:/path or tcp:host:port)")
+		spawn   = fs.Int("spawn", 0, "spawn P worker subprocesses over unix sockets instead of dialing -workers")
+		gen     = fs.String("gen", "ba", "graph generator (ba, er, rmat, grid, caveman, planted)")
+		n       = fs.Int("n", 10000, "node count")
+		seed    = fs.Int64("seed", 7, "generator seed")
+		eps     = fs.Float64("eps", 0.5, "approximation parameter (sets T = ceil(log_{1+eps} n))")
+		tFlag   = fs.Int("T", 0, "explicit round budget (overrides -eps)")
+		lambda  = fs.Float64("lambda", 0, "quantize transmitted values to powers of (1+lambda); 0 means Λ = ℝ")
+		partN   = fs.String("part", "greedy", "partitioner: hash, range or greedy")
+		verify  = fs.Bool("verify", false, "run the sequential engine locally and demand byte-identical Metrics and values")
+		jsonOut = fs.String("json", "", "write a JSON run report to this file")
+	)
+	fs.Parse(args)
+
+	spec := cliutil.GraphSpec(*gen, *n, *seed)
+	g, err := cliutil.LoadGraphSpec(spec)
+	if err != nil {
+		fatal(err)
+	}
+	part, err := cliutil.ParsePartitioner(*partN)
+	if err != nil {
+		fatal(err)
+	}
+	var lam quantize.Lambda
+	if *lambda > 0 {
+		lam = quantize.NewPowerGrid(*lambda)
+	}
+	T := *tFlag
+	if T <= 0 {
+		T = core.TForEpsilon(g.N(), *eps)
+	}
+
+	// Everything that acquires cluster resources runs inside this closure
+	// and returns errors, so the cleanup below always executes — fatal's
+	// os.Exit must never strand spawned worker processes in Accept or leak
+	// the socket directory.
+	var (
+		procs []*exec.Cmd
+		dir   string
+	)
+	runErr := func() error {
+		var addrs []string
+		switch {
+		case *spawn > 0:
+			var err error
+			if dir, err = os.MkdirTemp("", "dkc-cluster-"); err != nil {
+				return err
+			}
+			exe, err := os.Executable()
+			if err != nil {
+				return err
+			}
+			for i := 0; i < *spawn; i++ {
+				a := fmt.Sprintf("unix:%s", filepath.Join(dir, fmt.Sprintf("w%d.sock", i)))
+				cmd := exec.Command(exe, "worker", "-listen", a)
+				cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+				if err := cmd.Start(); err != nil {
+					return err
+				}
+				procs = append(procs, cmd)
+				addrs = append(addrs, a)
+			}
+		case *workers != "":
+			addrs = strings.Split(*workers, ",")
+		default:
+			return fmt.Errorf("need -workers or -spawn")
+		}
+		p := len(addrs)
+		assign := part.Partition(g, p)
+
+		conns := make([]*dnet.Conn, p)
+		for i, a := range addrs {
+			network, addr, err := splitAddr(a)
+			if err != nil {
+				return err
+			}
+			nc, err := dialRetry(network, addr, 5*time.Second)
+			if err != nil {
+				return fmt.Errorf("worker %d at %s: %w", i, a, err)
+			}
+			conns[i] = dnet.NewConn(nc)
+			defer conns[i].Close()
+		}
+
+		start := time.Now()
+		met, rep, err := dnet.RunCoordinator(conns, dnet.Spec{
+			P:          p,
+			MaxRounds:  T,
+			Lam:        lam,
+			GraphHash:  g.Fingerprint(),
+			PartDigest: shard.PartitionDigest(assign),
+			GraphSpec:  spec,
+			PartName:   part.Name(),
+			ProtoSpec:  fmt.Sprintf("coreness:%d", T),
+			WantValues: true,
+		})
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		for _, cmd := range procs {
+			if err := cmd.Wait(); err != nil {
+				return fmt.Errorf("worker process: %w", err)
+			}
+		}
+		procs = nil // all reaped; nothing for the cleanup pass to kill
+		rep.Sharding.EdgeCutFraction = shard.CutFraction(g, assign)
+		b, err := rep.Assemble(g.N())
+		if err != nil {
+			return err
+		}
+
+		fmt.Printf("cluster: %s over %d workers (%s), T=%d: %v\n", spec, p, part.Name(), T, elapsed.Round(time.Millisecond))
+		fmt.Printf("  metrics: rounds=%d messages=%d words=%d wireBytes=%d halted=%v\n",
+			met.Rounds, met.Messages, met.Words, met.WireBytes, met.Halted)
+		sm := rep.Sharding
+		fmt.Printf("  cluster: cut=%.3f crossMsgs=%d frameBytes=%d maxShardBytes=%d\n",
+			sm.EdgeCutFraction, sm.CrossMessages, sm.CrossFrameBytes, sm.MaxShardBytes)
+
+		verified := false
+		if *verify {
+			ref, refMet := core.RunDistributed(g, core.Options{Rounds: T, Lambda: lam}, dist.SeqEngine{})
+			if met != refMet {
+				return fmt.Errorf("METRICS DIVERGE from sequential engine:\n  cluster %+v\n  seq     %+v", met, refMet)
+			}
+			for v := range b {
+				if math.Float64bits(b[v]) != math.Float64bits(ref.B[v]) {
+					return fmt.Errorf("VALUE DIVERGES at node %d: cluster %v, seq %v", v, b[v], ref.B[v])
+				}
+			}
+			verified = true
+			fmt.Println("  verify: Metrics and all surviving numbers byte-identical to the sequential engine ✓")
+		}
+
+		return writeReport(*jsonOut, spec, p, part.Name(), T, met, sm, verified, elapsed)
+	}()
+	for _, cmd := range procs {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+	if dir != "" {
+		os.RemoveAll(dir)
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+// writeReport writes the optional JSON run report.
+func writeReport(path, spec string, p int, part string, T int, met dist.Metrics, sm shard.ShardMetrics, verified bool, elapsed time.Duration) error {
+	if path == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(map[string]any{
+		"graph":      spec,
+		"workers":    p,
+		"part":       part,
+		"rounds":     T,
+		"metrics":    met,
+		"sharding":   sm,
+		"verified":   verified,
+		"elapsed_ms": elapsed.Milliseconds(),
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// dialRetry dials with a retry loop, giving spawned workers time to bind
+// their listeners.
+func dialRetry(network, addr string, budget time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		nc, err := net.Dial(network, addr)
+		if err == nil {
+			return nc, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cluster:", err)
+	os.Exit(1)
+}
+
+// fatalTell reports a resolution failure to the coordinator (so it aborts
+// with the reason instead of a dead connection) and exits.
+func fatalTell(c *dnet.Conn, err error) {
+	c.SendError(err)
+	fatal(err)
+}

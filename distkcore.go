@@ -18,7 +18,10 @@
 // together with the exact centralized ground-truth algorithms used for
 // evaluation (exact cores, exact densest subsets and locally-dense
 // decompositions, exact unit-weight orientations) and a synchronous
-// message-passing simulator with sequential and goroutine-per-node engines.
+// message-passing runtime with four byte-identical execution engines:
+// sequential (the reference), goroutine-per-node, sharded cluster, and a
+// real-socket cluster (coordinator + P workers over pipes or sockets; see
+// cmd/cluster for the multi-process form).
 //
 // The subpackages under internal/ carry the implementation; this package
 // re-exports the surface a downstream user needs. See README.md for a
@@ -31,6 +34,7 @@ import (
 	"distkcore/internal/dist"
 	"distkcore/internal/exact"
 	"distkcore/internal/graph"
+	dnet "distkcore/internal/net"
 	"distkcore/internal/orient"
 	"distkcore/internal/quantize"
 	"distkcore/internal/shard"
@@ -68,6 +72,12 @@ type (
 	ClusterEngine = shard.Engine
 	// ShardMetrics reports cross-shard traffic and skew of a sharded run.
 	ShardMetrics = shard.ShardMetrics
+	// SocketEngine is the real-socket cluster engine returned by
+	// NetworkEngine: a coordinator plus P workers speaking the DESIGN.md §8
+	// wire protocol over net.Pipe, unix-domain or TCP connections. Beyond
+	// the Engine contract it reports ClusterMetrics (a ShardMetrics measured
+	// on frames that crossed real connections).
+	SocketEngine = dnet.Engine
 )
 
 // SequentialEngine returns the deterministic single-threaded engine — the
@@ -84,6 +94,29 @@ func ParallelEngine() Engine { return dist.ParEngine{} }
 // Executions are byte-identical to SequentialEngine's; after a run,
 // ShardMetrics on the returned engine reports the cluster-level wire cost.
 func ShardedEngine(p int, part Partitioner) *ClusterEngine { return shard.NewEngine(p, part) }
+
+// Transports for SocketEngine.Transport — checked spellings of the
+// connection kinds the socket cluster engine runs over.
+const (
+	// TransportPipe runs workers over synchronous in-memory net.Pipe pairs
+	// (the default).
+	TransportPipe = dnet.TransportPipe
+	// TransportUnix runs the same bytes over unix-domain sockets.
+	TransportUnix = dnet.TransportUnix
+	// TransportTCP runs over TCP loopback connections.
+	TransportTCP = dnet.TransportTCP
+)
+
+// NetworkEngine returns the real-socket cluster engine: a coordinator plus
+// p worker goroutines, each owning one shard placed by part (nil means
+// HashPartitioner), exchanging per-round frames over real connections
+// through the full wire protocol — handshake, length-prefixed records,
+// coordinator-driven barrier. Executions are byte-identical to
+// SequentialEngine's. The default transport is net.Pipe; set Transport to
+// "unix" or "tcp" on the returned engine to run the same bytes through the
+// kernel, and see cmd/cluster for the multi-process deployment of the same
+// protocol.
+func NetworkEngine(p int, part Partitioner) *SocketEngine { return dnet.NewEngine(p, part) }
 
 // HashPartitioner spreads nodes by an integer hash of their ID — the
 // locality-oblivious baseline (expected edge cut 1−1/p).

@@ -4,20 +4,26 @@ import (
 	"testing"
 
 	"distkcore/internal/dist"
+	dnet "distkcore/internal/net"
 	"distkcore/internal/shard"
 )
 
 func TestParseEngine(t *testing.T) {
 	for spec, want := range map[string]string{
-		"":               "seq",
-		"seq":            "seq",
-		"par":            "par",
-		" Par ":          "par",
-		"shard:4":        "shard:4/greedy",
-		"shard:16:hash":  "shard:16/hash",
-		"shard:2:range":  "shard:2/range",
-		"shard:8:greedy": "shard:8/greedy",
-		"SHARD:3:GREEDY": "shard:3/greedy",
+		"":                  "seq",
+		"seq":               "seq",
+		"par":               "par",
+		" Par ":             "par",
+		"shard:4":           "shard:4/greedy",
+		"shard:16:hash":     "shard:16/hash",
+		"shard:2:range":     "shard:2/range",
+		"shard:8:greedy":    "shard:8/greedy",
+		"SHARD:3:GREEDY":    "shard:3/greedy",
+		"net:4":             "net:4/greedy",
+		"net:2:hash":        "net:2/hash",
+		"net:3:greedy:unix": "net:3/greedy/unix",
+		"net:3:range:tcp":   "net:3/range/tcp",
+		"net:8:hash:pipe":   "net:8/hash",
 	} {
 		eng, err := ParseEngine(spec)
 		if err != nil {
@@ -31,6 +37,8 @@ func TestParseEngine(t *testing.T) {
 			got = "par"
 		case *shard.Engine:
 			got = e.Name()
+		case *dnet.Engine:
+			got = e.Name()
 		default:
 			t.Fatalf("%q: unexpected engine type %T", spec, eng)
 		}
@@ -38,8 +46,31 @@ func TestParseEngine(t *testing.T) {
 			t.Fatalf("%q parsed to %s, want %s", spec, got, want)
 		}
 	}
-	for _, bad := range []string{"nope", "shard", "shard:", "shard:0", "shard:x", "shard:4:metis", "shard:4:hash:extra"} {
+	for _, bad := range []string{
+		"nope", "shard", "shard:0", "shard:x", "shard:4:metis", "shard:4:hash:extra",
+		"net", "net:0", "net:x", "net:4:metis", "net:4:hash:udp", "net:4:hash:pipe:extra",
+	} {
 		if _, err := ParseEngine(bad); err == nil {
+			t.Fatalf("%q must not parse", bad)
+		}
+	}
+}
+
+func TestGraphSpecRoundTrip(t *testing.T) {
+	spec := GraphSpec("ba", 500, 7)
+	g, err := LoadGraphSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := LoadGraph("", "ba", 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Fingerprint() != ref.Fingerprint() {
+		t.Fatalf("spec %q does not reproduce the graph", spec)
+	}
+	for _, bad := range []string{"", "ba", "ba:10", "ba:x:1", "ba:10:y", "zzz:10:1"} {
+		if _, err := LoadGraphSpec(bad); err == nil {
 			t.Fatalf("%q must not parse", bad)
 		}
 	}

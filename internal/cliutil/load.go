@@ -1,9 +1,14 @@
-// Package cliutil holds flag plumbing shared by the cmd/ tools.
+// Package cliutil holds flag plumbing shared by the cmd/ tools: graph
+// loading/generation (-in/-gen), engine specs (-engine, ParseEngine) and
+// the generator spec strings the cluster handshake ships between
+// processes (GraphSpec/LoadGraphSpec).
 package cliutil
 
 import (
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"distkcore/internal/graph"
 )
@@ -50,4 +55,32 @@ func LoadGraph(path, gen string, n int, seed int64) (*graph.Graph, error) {
 	default:
 		return nil, fmt.Errorf("unknown generator %q", gen)
 	}
+}
+
+// GraphSpec formats a generator description as the "gen:n:seed" spec
+// string the cluster handshake ships to worker processes, which rebuild
+// the identical graph from it (generators are deterministic functions of
+// their seed) and prove it with graph.Fingerprint.
+func GraphSpec(gen string, n int, seed int64) string {
+	return fmt.Sprintf("%s:%d:%d", gen, n, seed)
+}
+
+// LoadGraphSpec resolves a GraphSpec string back to a graph — the worker
+// side of the handshake. Edge-list files have no spec form: a multi-process
+// cluster runs on generated workloads (every process must be able to
+// reconstruct the input bit for bit from the spec alone).
+func LoadGraphSpec(spec string) (*graph.Graph, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("bad graph spec %q (want gen:n:seed)", spec)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("bad node count in graph spec %q", spec)
+	}
+	seed, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad seed in graph spec %q", spec)
+	}
+	return LoadGraph("", parts[0], n, seed)
 }

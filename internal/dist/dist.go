@@ -5,11 +5,16 @@
 //   - the synchronous side — a Program (per-node state machine with Init and
 //     Round hooks), a Ctx handed to every hook (topology queries plus
 //     Broadcast/Send/Halt), and an Engine that drives all n programs in
-//     lock-step rounds. Two engines are provided: SeqEngine, a deterministic
+//     lock-step rounds. This package provides SeqEngine, a deterministic
 //     single-threaded scheduler, and ParEngine, one goroutine per node with
-//     per-round barriers. Both produce byte-identical executions, so every
-//     protocol property can be tested on the cheap engine and trusted on the
-//     parallel one.
+//     per-round barriers. Engines outside the package register through the
+//     same interface by building on Driver, which exposes the shared
+//     step/deliver machinery without giving up the determinism contract:
+//     internal/shard (P worker goroutines, batched cross-shard frames, via
+//     the RouteFunc transport hook) and internal/net (coordinator plus P
+//     workers over real connections, via the Sends tap and ghost replay).
+//     All engines produce byte-identical executions, so every protocol
+//     property can be tested on the cheap engine and trusted on a cluster.
 //
 //   - the asynchronous side — an AsyncProgram (InitAsync/OnMessage hooks),
 //     an AsyncCtx, and RunAsync, a seeded event-queue simulator driven by a
@@ -20,7 +25,7 @@
 // round t is delivered at the start of round t+1; Round(c, inbox) is called
 // once per round on every node that has not halted, whether or not its
 // inbox is empty. The inbox is ordered by sender ID (ties by send order),
-// which is what makes the two engines agree execution-for-execution.
+// which is what makes all engines agree execution-for-execution.
 //
 // Communication accounting (Metrics.Words, Metrics.WireBytes) flows through
 // internal/quantize and internal/codec so that the Congest-model bandwidth
@@ -229,10 +234,11 @@ func isPeerOf(peers []graph.NodeID, v graph.NodeID) bool {
 }
 
 // sim is the engine-shared state of one synchronous run: contexts, mailboxes
-// and metrics. Both engines are thin schedulers over it; deliver() is the
-// single place messages move and metrics accumulate, and it always runs
-// single-threaded (between barriers in the parallel engine), which is what
-// keeps the two engines execution-identical.
+// and metrics. The built-in engines are thin schedulers over it (external
+// engines reach it through Driver); deliver() is the single place messages
+// move and metrics accumulate, and it always runs single-threaded (between
+// barriers in the concurrent engines), which is what keeps every engine
+// execution-identical.
 //
 // Mailboxes are round arenas (DESIGN.md §7): every round's inboxes live in
 // one shared backing array sized by a counting pass over the send queues,
@@ -349,7 +355,7 @@ func (s *sim) deliverVia(route RouteFunc) {
 		for _, env := range c.out {
 			s.met.Messages++
 			s.met.Words += int64(env.m.Words())
-			s.met.WireBytes += int64(wireSize(s.lam, env.m))
+			s.met.WireBytes += int64(WireSize(s.lam, env.m))
 			if CheckVecAliasing && len(env.m.Vec) > 0 && vecHash(env.m.Vec) != env.vh {
 				panic("dist: Message.Vec mutated after Broadcast/Send — sent messages are read-only (see Message)")
 			}

@@ -51,6 +51,21 @@ func (d *Driver) Step(v graph.NodeID, t int) {
 	}
 }
 
+// Sends invokes fn for every message node v has buffered since the last
+// Deliver, in send order, without consuming anything. It is the transport
+// tap of the seam: an engine that ships a shard's traffic over a real wire
+// (internal/net) calls it after the round's Steps and before the Deliver
+// that flushes the queues, encoding cross-shard messages into frames and
+// accounting its shard's Metrics share through WireSize. Call it only in
+// that window, from a goroutine that is not concurrently Stepping v; the
+// Message values (Vec included) are the live send buffers and must not be
+// retained or mutated.
+func (d *Driver) Sends(v graph.NodeID, fn func(to graph.NodeID, m Message)) {
+	for _, env := range d.s.ctxs[v].out {
+		fn(env.to, env.m)
+	}
+}
+
 // Deliver moves every buffered send into the receivers' next-round inboxes
 // in the package's deterministic global order (ascending sender ID, ties in
 // send order), accounting Metrics on the way. Each message passes through

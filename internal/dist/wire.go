@@ -5,7 +5,7 @@ import (
 	"distkcore/internal/quantize"
 )
 
-// wireSize prices one message in bytes for Metrics.WireBytes: the sender ID
+// WireSize prices one message in bytes for Metrics.WireBytes: the sender ID
 // and the scalar value go through the concrete varint/grid-index encoding
 // of internal/codec under the engine's threshold set (Section III-C: under
 // a powers-of-(1+λ) grid a value is 1–2 bytes, under Λ = ℝ a full 64-bit
@@ -16,7 +16,13 @@ import (
 // a non-zero I0 a signed varint — so the single-kind elimination protocol
 // pays nothing for them while the weak-densest phases pay for their leader
 // IDs and slot indices.
-func wireSize(lam quantize.Lambda, m Message) int {
+//
+// It is exported for engines outside this package that account their own
+// share of the traffic (the internal/net workers price the sends of their
+// shard locally and the coordinator sums the shares); pricing a message
+// through WireSize is exactly what the built-in engines do per delivery,
+// so the sums agree with SeqEngine byte for byte.
+func WireSize(lam quantize.Lambda, m Message) int {
 	n := codec.SizeOf(lam, m.From, m.F0) + 8*len(m.Vec)
 	if m.Kind != 0 {
 		n++

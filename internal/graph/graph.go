@@ -393,6 +393,25 @@ func (g *Graph) Quotient(inB []bool) (*Graph, []NodeID) {
 	return b.Build(), orig
 }
 
+// Fingerprint returns a deterministic 64-bit digest of the graph: the node
+// count and every edge's endpoints and weight bit pattern, folded in
+// insertion order with a word-granular FNV-1a variant. Two graphs built from
+// the same edge sequence always agree, across processes and builds — the
+// cluster transport (internal/net) uses it during its handshake to verify
+// that the coordinator and every worker hold the same graph before a run
+// (DESIGN.md §8).
+func (g *Graph) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(1469598103934665603)
+	h = (h ^ uint64(g.n)) * prime
+	for _, e := range g.edges {
+		h = (h ^ uint64(e.U)) * prime
+		h = (h ^ uint64(e.V)) * prime
+		h = (h ^ math.Float64bits(e.W)) * prime
+	}
+	return h
+}
+
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
 	b := NewBuilder(g.n)

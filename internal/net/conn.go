@@ -1,0 +1,155 @@
+package net
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+
+	"distkcore/internal/codec"
+	"distkcore/internal/quantize"
+)
+
+// Record types. Every record is codec.AppendRecord framing around a payload
+// whose first byte is one of these; the rest of the payload is the record
+// body (DESIGN.md §8 specifies each body's layout).
+const (
+	recHello   = byte(1)  // coordinator→worker: codec.Hello
+	recWelcome = byte(2)  // worker→coordinator: codec.Welcome
+	recStep    = byte(3)  // coordinator→worker: uvarint round
+	recFrame   = byte(4)  // both directions: codec.FrameHeader + message bodies
+	recDone    = byte(5)  // worker→coordinator: uvarint round, alive, framesSent
+	recDeliver = byte(6)  // coordinator→worker: uvarint round, framesRelayed
+	recFinish  = byte(7)  // coordinator→worker: uvarint rounds, halted byte
+	recMetrics = byte(8)  // worker→coordinator: uvarint messages, words, wireBytes
+	recValues  = byte(9)  // worker→coordinator: uvarint count, then (uvarint node, 8-byte bits)*
+	recError   = byte(10) // either direction: UTF-8 message; aborts the run
+)
+
+// Conn wraps one coordinator↔worker connection with buffered record IO.
+// It is not safe for concurrent use of the same direction; the coordinator
+// reads each Conn from one goroutine and writes it from another, which is
+// fine because the read and write paths share no state.
+type Conn struct {
+	nc   net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	rbuf []byte // readRecord reuse
+	wbuf []byte // writeRecord encode scratch
+}
+
+// NewConn wraps nc for record IO. The caller keeps ownership of nc's
+// lifetime; Close closes it.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 1<<16),
+		bw: bufio.NewWriterSize(nc, 1<<16),
+	}
+}
+
+// Close closes the underlying connection (without flushing — error paths
+// use it to abort).
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// readRecord reads one record and splits off the type byte. The returned
+// body aliases an internal buffer valid until the next readRecord.
+func (c *Conn) readRecord() (typ byte, body []byte, err error) {
+	payload, err := codec.ReadRecord(c.br, c.rbuf, 0)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.rbuf = payload[:0]
+	if len(payload) == 0 {
+		return 0, nil, fmt.Errorf("net: empty record")
+	}
+	return payload[0], payload[1:], nil
+}
+
+// writeRecord buffers one record of the given type; chunks are
+// concatenated into the body. The payload length is known up front, so the
+// whole record — uvarint length, type byte, chunks — is assembled in one
+// scratch buffer (frames are the wire hot path; no intermediate copy).
+// Flush with flush before switching to reads.
+func (c *Conn) writeRecord(typ byte, chunks ...[]byte) error {
+	total := 1
+	for _, ch := range chunks {
+		total += len(ch)
+	}
+	f := binary.AppendUvarint(c.wbuf[:0], uint64(total))
+	f = append(f, typ)
+	for _, ch := range chunks {
+		f = append(f, ch...)
+	}
+	c.wbuf = f[:0]
+	_, err := c.bw.Write(f)
+	return err
+}
+
+func (c *Conn) flush() error { return c.bw.Flush() }
+
+// SendError best-effort ships an error record to the peer so it can abort
+// with a reason instead of a bare broken connection.
+func (c *Conn) SendError(err error) {
+	_ = c.writeRecord(recError, []byte(err.Error()))
+	_ = c.flush()
+}
+
+// ReadHello reads the coordinator's handshake record from c. cmd/cluster's
+// worker calls it first, so it can resolve the graph, partition and
+// protocol the hello describes before constructing the Worker (whose Run
+// then skips the read — set Worker.Hello to the returned record).
+func ReadHello(c *Conn) (*codec.Hello, error) {
+	typ, body, err := c.readRecord()
+	if err != nil {
+		return nil, fmt.Errorf("net: reading hello: %w", err)
+	}
+	if typ == recError {
+		return nil, fmt.Errorf("net: coordinator error: %s", body)
+	}
+	if typ != recHello {
+		return nil, fmt.Errorf("net: expected hello record, got type %d", typ)
+	}
+	h, _, err := codec.DecodeHello(body)
+	if err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// lambdaFields maps a threshold set to its handshake encoding.
+func lambdaFields(lam quantize.Lambda) (kind byte, l float64, name string) {
+	switch v := lam.(type) {
+	case nil, quantize.Reals:
+		return codec.LamReals, 0, ""
+	case quantize.PowerGrid:
+		return codec.LamPowerGrid, v.L, ""
+	default:
+		return codec.LamOpaque, 0, lam.Name()
+	}
+}
+
+// LambdaFromHello reconstructs the threshold set a hello describes. Opaque
+// lambdas have no wire form — only in-process workers, which share the
+// coordinator's value directly, can run them.
+func LambdaFromHello(h *codec.Hello) (quantize.Lambda, error) {
+	switch h.LamKind {
+	case codec.LamReals:
+		return quantize.Reals{}, nil
+	case codec.LamPowerGrid:
+		return quantize.NewPowerGrid(h.LamL), nil
+	default:
+		return nil, fmt.Errorf("net: threshold set %q has no wire form; run it in-process", h.LamName)
+	}
+}
+
+// lambdaMatches checks that the worker's threshold set agrees with the
+// hello's description of the coordinator's.
+func lambdaMatches(h *codec.Hello, lam quantize.Lambda) error {
+	kind, l, name := lambdaFields(lam)
+	if kind != h.LamKind || l != h.LamL || name != h.LamName {
+		return fmt.Errorf("net: threshold-set mismatch: coordinator kind=%d λ=%g %q, worker kind=%d λ=%g %q",
+			h.LamKind, h.LamL, h.LamName, kind, l, name)
+	}
+	return nil
+}

@@ -1,0 +1,411 @@
+package net
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"distkcore/internal/codec"
+	"distkcore/internal/dist"
+	"distkcore/internal/graph"
+	"distkcore/internal/quantize"
+	"distkcore/internal/shard"
+)
+
+// Spec describes one coordinated run: the fan-out, the pinned inputs every
+// worker must prove it shares (graph fingerprint, partition digest,
+// threshold set, round budget) and — for workers in separate processes —
+// the spec strings they resolve those inputs from. The zero spec strings
+// mean "the worker already holds the inputs" (the in-process engine).
+type Spec struct {
+	P          int
+	MaxRounds  int
+	Lam        quantize.Lambda
+	GraphHash  uint64
+	PartDigest uint64
+	GraphSpec  string // e.g. "ba:10000:7" (cliutil.LoadGraphSpec); empty in-process
+	PartName   string // partitioner name for Partition(g, P); empty in-process
+	ProtoSpec  string // e.g. "coreness:23"; empty in-process
+	WantValues bool   // collect per-node result values after the metrics records
+}
+
+// NodeValue is one node's result value as shipped by a worker — the exact
+// float bit pattern, so cross-process verification can demand bit equality.
+type NodeValue struct {
+	Node graph.NodeID
+	Bits uint64
+}
+
+// Report is the cluster-level outcome of one coordinated run — what
+// dist.Metrics cannot see because it depends on where nodes live.
+type Report struct {
+	// Sharding is the frame-traffic ledger, in the sharded engine's units
+	// (CrossFrameBytes counts header+body, exactly what Engine.ShardMetrics
+	// of internal/shard would report for the same run). EdgeCutFraction is
+	// left zero — the coordinator does not need the graph; callers that
+	// hold it fill the field via shard.CutFraction.
+	Sharding shard.ShardMetrics
+	// Nodes is the sum of the workers' shard sizes (a handshake sanity
+	// datum for callers that know n).
+	Nodes int
+	// Values holds every worker's shipped node values when Spec.WantValues
+	// was set, in arrival order; nil otherwise.
+	Values []NodeValue
+}
+
+// Assemble scatters the collected values into an n-sized vector (missing
+// nodes stay zero, duplicates and out-of-range nodes error).
+func (r *Report) Assemble(n int) ([]float64, error) {
+	out := make([]float64, n)
+	seen := make([]bool, n)
+	for _, v := range r.Values {
+		if v.Node < 0 || v.Node >= n {
+			return nil, fmt.Errorf("net: worker shipped value for node %d of %d", v.Node, n)
+		}
+		if seen[v.Node] {
+			return nil, fmt.Errorf("net: two workers shipped node %d", v.Node)
+		}
+		seen[v.Node] = true
+		out[v.Node] = math.Float64frombits(v.Bits)
+	}
+	return out, nil
+}
+
+// inRec is one record (or terminal read error) from one worker, as pushed
+// by the coordinator's per-connection reader goroutines.
+type inRec struct {
+	from int
+	typ  byte
+	body []byte
+	err  error
+}
+
+// RunCoordinator drives one full run over P established worker
+// connections: handshake, per-round barrier (step → frame relay → deliver),
+// finish, metric aggregation. conns[i] becomes shard i. It returns the
+// run-level Metrics — byte-identical to dist.SeqEngine's for the same
+// protocol, graph and Λ — plus the cluster Report.
+//
+// Failure behavior (DESIGN.md §8): the protocol chooses determinism over
+// availability. Any connection error, version skew, digest mismatch or
+// protocol violation aborts the whole run with an error after best-effort
+// error records to the surviving workers; there is no retry, reconnect or
+// partial result. Liveness is the transport's concern — set connection
+// deadlines on the conns if a hung worker must not hang the coordinator.
+// The caller owns the connections and closes them afterwards; together
+// with the internal done signal that releases channel-blocked readers,
+// that terminates the reader goroutines this call spawns.
+func RunCoordinator(conns []*Conn, spec Spec) (dist.Metrics, *Report, error) {
+	p := len(conns)
+	if p == 0 || (spec.P != 0 && spec.P != p) {
+		return dist.Metrics{}, nil, fmt.Errorf("net: %d connections for P=%d", p, spec.P)
+	}
+	c := &coordinator{
+		conns: conns,
+		spec:  spec,
+		ch:    make(chan inRec, 8*p),
+		done:  make(chan struct{}),
+		rep:   &Report{Sharding: shard.ShardMetrics{P: p, PerShardBytes: make([]int64, p)}},
+	}
+	// done releases readers parked on the bounded channel once this call
+	// returns — an abort mid-round can leave more frames in flight than the
+	// channel holds, and a reader blocked on the send would never observe
+	// the caller closing its connection.
+	defer close(c.done)
+	for i, cn := range conns {
+		go c.reader(i, cn)
+	}
+	met, err := c.run()
+	if err != nil {
+		for _, cn := range conns {
+			cn.SendError(err)
+		}
+		return dist.Metrics{}, nil, err
+	}
+	return met, c.rep, nil
+}
+
+type coordinator struct {
+	conns []*Conn
+	spec  Spec
+	ch    chan inRec
+	done  chan struct{} // closed when RunCoordinator returns
+	rep   *Report
+}
+
+// reader pumps one connection's records into the shared channel, copying
+// each payload out of the Conn's reused buffer. It exits on the first read
+// error (EOF included, which is the normal end once the caller closes the
+// connection after the run) or when the run is over and nobody will drain
+// the channel again.
+func (c *coordinator) reader(i int, cn *Conn) {
+	for {
+		typ, body, err := cn.readRecord()
+		if err != nil {
+			select {
+			case c.ch <- inRec{from: i, err: err}:
+			case <-c.done:
+			}
+			return
+		}
+		cp := make([]byte, len(body))
+		copy(cp, body)
+		select {
+		case c.ch <- inRec{from: i, typ: typ, body: cp}:
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// next receives one record, folding transport errors and worker error
+// records into Go errors.
+func (c *coordinator) next() (inRec, error) {
+	r := <-c.ch
+	if r.err != nil {
+		return r, fmt.Errorf("net: worker %d: %w", r.from, r.err)
+	}
+	if r.typ == recError {
+		return r, fmt.Errorf("net: worker %d aborted: %s", r.from, r.body)
+	}
+	return r, nil
+}
+
+func (c *coordinator) run() (dist.Metrics, error) {
+	p := len(c.conns)
+	kind, lamL, lamName := lambdaFields(c.spec.Lam)
+	for i, cn := range c.conns {
+		h := codec.Hello{
+			Version:    codec.HandshakeVersion,
+			P:          p,
+			Shard:      i,
+			MaxRounds:  c.spec.MaxRounds,
+			GraphHash:  c.spec.GraphHash,
+			PartDigest: c.spec.PartDigest,
+			LamKind:    kind,
+			LamL:       lamL,
+			LamName:    lamName,
+			GraphSpec:  c.spec.GraphSpec,
+			PartName:   c.spec.PartName,
+			ProtoSpec:  c.spec.ProtoSpec,
+			WantValues: c.spec.WantValues,
+		}
+		if err := cn.writeRecord(recHello, codec.AppendHello(nil, h)); err != nil {
+			return dist.Metrics{}, err
+		}
+		if err := cn.flush(); err != nil {
+			return dist.Metrics{}, err
+		}
+	}
+	welcomed := make([]bool, p)
+	for i := 0; i < p; i++ {
+		r, err := c.next()
+		if err != nil {
+			return dist.Metrics{}, err
+		}
+		if r.typ != recWelcome {
+			return dist.Metrics{}, fmt.Errorf("net: worker %d sent record %d before welcome", r.from, r.typ)
+		}
+		w, _, err := codec.DecodeWelcome(r.body)
+		if err != nil {
+			return dist.Metrics{}, err
+		}
+		switch {
+		case w.Version != codec.HandshakeVersion:
+			return dist.Metrics{}, fmt.Errorf("net: worker %d speaks version %d, want %d", r.from, w.Version, codec.HandshakeVersion)
+		case w.Shard != r.from:
+			return dist.Metrics{}, fmt.Errorf("net: worker %d answered as shard %d", r.from, w.Shard)
+		case welcomed[r.from]:
+			return dist.Metrics{}, fmt.Errorf("net: worker %d welcomed twice", r.from)
+		case w.GraphHash != c.spec.GraphHash || w.PartDigest != c.spec.PartDigest:
+			return dist.Metrics{}, fmt.Errorf("net: worker %d echoes mismatched digests", r.from)
+		}
+		welcomed[r.from] = true
+		c.rep.Nodes += w.Nodes
+	}
+
+	// The round loop mirrors dist.SeqEngine.Run condition for condition:
+	// Init is round 0 and always runs; round t runs while t ≤ maxRounds
+	// and someone is still alive; Rounds is the last t executed.
+	alive, err := c.round(0)
+	if err != nil {
+		return dist.Metrics{}, err
+	}
+	rounds := 0
+	for t := 1; t <= c.spec.MaxRounds && alive > 0; t++ {
+		rounds = t
+		if alive, err = c.round(t); err != nil {
+			return dist.Metrics{}, err
+		}
+	}
+
+	fin := binary.AppendUvarint(nil, uint64(rounds))
+	if alive == 0 {
+		fin = append(fin, 1)
+	} else {
+		fin = append(fin, 0)
+	}
+	for _, cn := range c.conns {
+		if err := cn.writeRecord(recFinish, fin); err != nil {
+			return dist.Metrics{}, err
+		}
+		if err := cn.flush(); err != nil {
+			return dist.Metrics{}, err
+		}
+	}
+	met := dist.Metrics{Rounds: rounds, Halted: alive == 0}
+	want := p
+	if c.spec.WantValues {
+		want = 2 * p
+	}
+	gotMetrics := make([]bool, p)
+	gotValues := make([]bool, p)
+	// A worker may close its connection as soon as it has shipped its last
+	// record, while siblings are still reporting — an EOF from a worker
+	// whose records are all in is the normal end, not a failure.
+	complete := func(i int) bool {
+		return gotMetrics[i] && (!c.spec.WantValues || gotValues[i])
+	}
+	for got := 0; got < want; {
+		r, err := c.next()
+		if err != nil {
+			if r.err != nil && complete(r.from) {
+				continue
+			}
+			return dist.Metrics{}, err
+		}
+		got++
+		switch r.typ {
+		case recMetrics:
+			if gotMetrics[r.from] {
+				return dist.Metrics{}, fmt.Errorf("net: worker %d reported metrics twice", r.from)
+			}
+			gotMetrics[r.from] = true
+			d := 0
+			for _, dst := range []*int64{&met.Messages, &met.Words, &met.WireBytes} {
+				u, k := binary.Uvarint(r.body[d:])
+				if k <= 0 {
+					return dist.Metrics{}, fmt.Errorf("net: worker %d sent a truncated metrics record", r.from)
+				}
+				*dst += int64(u)
+				d += k
+			}
+		case recValues:
+			if !c.spec.WantValues || gotValues[r.from] {
+				return dist.Metrics{}, fmt.Errorf("net: worker %d shipped unsolicited values", r.from)
+			}
+			gotValues[r.from] = true
+			cnt, k := binary.Uvarint(r.body)
+			if k <= 0 {
+				return dist.Metrics{}, fmt.Errorf("net: worker %d sent a truncated values record", r.from)
+			}
+			d := k
+			for j := uint64(0); j < cnt; j++ {
+				v, k := binary.Uvarint(r.body[d:])
+				d += k
+				if k <= 0 || len(r.body[d:]) < 8 {
+					return dist.Metrics{}, fmt.Errorf("net: worker %d sent a truncated values record", r.from)
+				}
+				bits := binary.LittleEndian.Uint64(r.body[d:])
+				d += 8
+				c.rep.Values = append(c.rep.Values, NodeValue{Node: graph.NodeID(v), Bits: bits})
+			}
+		default:
+			return dist.Metrics{}, fmt.Errorf("net: unexpected record type %d at finish", r.typ)
+		}
+	}
+	for _, b := range c.rep.Sharding.PerShardBytes {
+		if b > c.rep.Sharding.MaxShardBytes {
+			c.rep.Sharding.MaxShardBytes = b
+		}
+	}
+	return met, nil
+}
+
+// round drives one barrier round: step broadcast, then a pure collection
+// phase (frames are parked in memory until every worker reports done), then
+// the relay + deliver writes. Writing only after all P dones is what makes
+// the protocol deadlock-free on unbuffered transports (net.Pipe): by then
+// every worker has flushed its last record of the round and sits in its
+// read loop, so the coordinator's writes always drain. Returns the number
+// of nodes still alive across the cluster after the round.
+func (c *coordinator) round(t int) (alive int, err error) {
+	p := len(c.conns)
+	step := binary.AppendUvarint(nil, uint64(t))
+	for _, cn := range c.conns {
+		if err := cn.writeRecord(recStep, step); err != nil {
+			return 0, err
+		}
+		if err := cn.flush(); err != nil {
+			return 0, err
+		}
+	}
+	relay := make([][][]byte, p) // relay[q] = frame records parked for worker q
+	framesFrom := make([]int, p)
+	done := make([]bool, p)
+	for dones := 0; dones < p; {
+		r, err := c.next()
+		if err != nil {
+			return 0, err
+		}
+		switch r.typ {
+		case recFrame:
+			fh, _, err := codec.DecodeFrameHeader(r.body)
+			if err != nil {
+				return 0, err
+			}
+			if fh.Src != r.from || fh.Dst < 0 || fh.Dst >= p || fh.Dst == fh.Src || fh.Round != t || fh.Count <= 0 {
+				return 0, fmt.Errorf("net: invalid frame %+v from worker %d in round %d", fh, r.from, t)
+			}
+			// The relayed record body is byte-for-byte the frame (header +
+			// messages), so the ledger prices exactly what internal/shard's
+			// engine prices for the same run.
+			c.rep.Sharding.CrossMessages += int64(fh.Count)
+			c.rep.Sharding.CrossFrameBytes += int64(len(r.body))
+			c.rep.Sharding.PerShardBytes[fh.Src] += int64(len(r.body))
+			framesFrom[r.from]++
+			relay[fh.Dst] = append(relay[fh.Dst], r.body)
+		case recDone:
+			d := 0
+			var vals [3]uint64
+			for j := range vals {
+				u, k := binary.Uvarint(r.body[d:])
+				if k <= 0 {
+					return 0, fmt.Errorf("net: worker %d sent a truncated done record", r.from)
+				}
+				vals[j] = u
+				d += k
+			}
+			if int(vals[0]) != t {
+				return 0, fmt.Errorf("net: worker %d done for round %d during round %d", r.from, vals[0], t)
+			}
+			if done[r.from] {
+				return 0, fmt.Errorf("net: worker %d done twice in round %d", r.from, t)
+			}
+			if int(vals[2]) != framesFrom[r.from] {
+				return 0, fmt.Errorf("net: worker %d announced %d frames, %d arrived", r.from, vals[2], framesFrom[r.from])
+			}
+			done[r.from] = true
+			alive += int(vals[1])
+			dones++
+		default:
+			return 0, fmt.Errorf("net: unexpected record type %d from worker %d in round %d", r.typ, r.from, t)
+		}
+	}
+	for q, cn := range c.conns {
+		for _, frame := range relay[q] {
+			if err := cn.writeRecord(recFrame, frame); err != nil {
+				return 0, err
+			}
+		}
+		del := binary.AppendUvarint(nil, uint64(t))
+		del = binary.AppendUvarint(del, uint64(len(relay[q])))
+		if err := cn.writeRecord(recDeliver, del); err != nil {
+			return 0, err
+		}
+		if err := cn.flush(); err != nil {
+			return 0, err
+		}
+	}
+	return alive, nil
+}

@@ -1,0 +1,44 @@
+// Package net implements the real-socket cluster transport: a fourth
+// dist.Engine that runs a protocol as a coordinator plus P workers
+// connected by real network connections (net.Pipe for in-process runs,
+// unix-domain or TCP sockets for separate processes via cmd/cluster), with
+// each worker owning one shard of the graph and all cross-shard traffic
+// moving as the batched per-round frames of internal/shard — now actually
+// written to a wire inside a length-prefixed record framing
+// (internal/codec, DESIGN.md §8 is the normative protocol spec).
+//
+// The execution stays byte-identical to dist.SeqEngine — same results,
+// same inbox ordering, same Metrics — by construction:
+//
+//   - Every worker holds the full (immutable) graph and a full dist.Driver,
+//     but steps only the nodes of its own shard. The handshake pins the
+//     inputs (graph.Fingerprint, shard.PartitionDigest, the threshold set
+//     Λ, the round budget) so no two processes can silently disagree.
+//   - After the round's local Steps, the worker taps its nodes' buffered
+//     sends (dist.Driver.Sends), prices its shard's share of the protocol
+//     Metrics through dist.WireSize, and encodes every cross-shard message
+//     into one frame per destination shard (shard.AppendMessage — the
+//     lossless body codec, byte-for-byte the sharded engine's format).
+//   - The coordinator relays frames between workers and closes the round
+//     with a barrier; a worker replays each received frame through ghost
+//     programs — stand-ins for the remote senders that re-issue the decoded
+//     messages — so the local delivery assembles every inbox in the
+//     package-wide deterministic order (ascending sender ID, ties in send
+//     order) exactly as SeqEngine would.
+//   - Metrics are sums over messages, hence order-independent: the
+//     coordinator adds up the workers' shares and necessarily lands on
+//     SeqEngine's numbers. Rounds and Halted come from the coordinator's
+//     own loop, which mirrors SeqEngine's round loop condition for
+//     condition.
+//
+// Engine is the in-process form (workers as goroutines over net.Pipe, or
+// over real localhost sockets with Transport "unix"/"tcp") and accepts any
+// dist.Factory. RunCoordinator and Worker are the two protocol endpoints
+// cmd/cluster wires to separate processes; there the factory cannot cross
+// the process boundary, so the handshake carries generator/partitioner/
+// protocol spec strings each worker resolves locally.
+//
+// What the cluster adds on top of dist.Metrics is the same placement
+// ledger the sharded engine reports: a shard.ShardMetrics with the frame
+// traffic that actually crossed worker boundaries (Engine.ClusterMetrics).
+package net

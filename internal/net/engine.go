@@ -1,0 +1,207 @@
+package net
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"distkcore/internal/dist"
+	"distkcore/internal/graph"
+	"distkcore/internal/quantize"
+	"distkcore/internal/shard"
+)
+
+// Transports the in-process engine can run its worker connections over.
+// Pipe is the default: synchronous in-memory net.Conn pairs, zero setup
+// cost, and the strictest flow-control regime (every write rendezvouses
+// with a read), which makes it the best deadlock canary for the protocol.
+// Unix and TCP run the same bytes over real localhost sockets — what the
+// BENCH_PR4 seq-vs-shard-vs-net comparison uses, and the closest in-process
+// stand-in for a real deployment (cmd/cluster is the multi-process one).
+const (
+	TransportPipe = "pipe"
+	TransportUnix = "unix"
+	TransportTCP  = "tcp"
+)
+
+// Engine is the in-process form of the socket cluster: a dist.Engine whose
+// Run spawns P Worker goroutines connected to a coordinator over real
+// net.Conns and speaks the full wire protocol — handshake, frames, barrier
+// — end to end. Executions are byte-identical to dist.SeqEngine's (package
+// comment has the argument; the equivalence and pinned-metrics tests hold
+// it to that). Obtain one with NewEngine; the zero value is not usable.
+type Engine struct {
+	// Transport selects the connection kind: TransportPipe (default),
+	// TransportUnix or TransportTCP. Set it before Run.
+	Transport string
+	// Delay, when non-nil, is installed on every worker (see DelayFunc).
+	Delay DelayFunc
+
+	p    int
+	part shard.Partitioner
+	lam  quantize.Lambda
+	// sm is the last run's cluster ledger, shared across WithWireLambda
+	// copies exactly like the sharded engine's.
+	sm *shard.ShardMetrics
+}
+
+// NewEngine returns a socket-cluster engine with p workers placed by part
+// (nil means shard.Hash{}), running over net.Pipe until Transport says
+// otherwise.
+func NewEngine(p int, part shard.Partitioner) *Engine {
+	if p < 1 {
+		panic("net: NewEngine requires p >= 1")
+	}
+	if part == nil {
+		part = shard.Hash{}
+	}
+	return &Engine{Transport: TransportPipe, p: p, part: part, sm: &shard.ShardMetrics{}}
+}
+
+// P returns the worker count.
+func (e *Engine) P() int { return e.p }
+
+// Name identifies the engine configuration in experiment tables,
+// e.g. "net:4/greedy" ("net:4/greedy/unix" off the default transport).
+func (e *Engine) Name() string {
+	if e.Transport == "" || e.Transport == TransportPipe {
+		return fmt.Sprintf("net:%d/%s", e.p, e.part.Name())
+	}
+	return fmt.Sprintf("net:%d/%s/%s", e.p, e.part.Name(), e.Transport)
+}
+
+// WithWireLambda implements dist.Engine. The copy shares the cluster
+// ledger with the original, so e.ClusterMetrics() reflects runs made
+// through the copy.
+func (e *Engine) WithWireLambda(lam quantize.Lambda) dist.Engine {
+	c := *e
+	c.lam = lam
+	return &c
+}
+
+// ClusterMetrics returns a copy of the most recent Run's cluster ledger —
+// the same units as the sharded engine's ShardMetrics, now measured on
+// frames that crossed real connections.
+func (e *Engine) ClusterMetrics() shard.ShardMetrics {
+	sm := *e.sm
+	sm.PerShardBytes = append([]int64(nil), e.sm.PerShardBytes...)
+	return sm
+}
+
+// Run implements dist.Engine. Like the other engines it has no error
+// channel; connection failures and protocol violations — impossible in a
+// correct in-process run short of a resource failure — panic with the
+// coordinator's diagnosis.
+func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.Metrics {
+	p := e.p
+	assign := e.part.Partition(g, p)
+	if len(assign) != g.N() {
+		panic(fmt.Sprintf("net: partitioner %s returned %d assignments for %d nodes",
+			e.part.Name(), len(assign), g.N()))
+	}
+	for v, s := range assign {
+		if s < 0 || s >= p {
+			panic(fmt.Sprintf("net: partitioner %s assigned node %d to shard %d (p=%d)",
+				e.part.Name(), v, s, p))
+		}
+	}
+	coord, workers, cleanup, err := dialCluster(e.Transport, p)
+	if err != nil {
+		panic("net: " + err.Error())
+	}
+	defer cleanup()
+
+	var wg sync.WaitGroup
+	for s := 0; s < p; s++ {
+		wg.Add(1)
+		go func(c *Conn) {
+			defer wg.Done()
+			defer c.Close()
+			// A panicking protocol hook (a factory bug) must not hang the
+			// coordinator: convert it into an error record so the run
+			// aborts with the reason.
+			defer func() {
+				if r := recover(); r != nil {
+					c.SendError(fmt.Errorf("worker panic: %v", r))
+				}
+			}()
+			w := &Worker{c: c, g: g, assign: assign, lam: e.lam, Delay: e.Delay}
+			if _, err := w.run(g, factory, maxRounds); err != nil {
+				c.SendError(err)
+			}
+		}(workers[s])
+	}
+	met, rep, err := RunCoordinator(coord, Spec{
+		P:          p,
+		MaxRounds:  maxRounds,
+		Lam:        e.lam,
+		GraphHash:  g.Fingerprint(),
+		PartDigest: shard.PartitionDigest(assign),
+	})
+	for _, c := range coord {
+		c.Close()
+	}
+	wg.Wait()
+	if err != nil {
+		panic("net: " + err.Error())
+	}
+	rep.Sharding.EdgeCutFraction = shard.CutFraction(g, assign)
+	*e.sm = rep.Sharding
+	return met
+}
+
+// dialCluster establishes p coordinator↔worker connection pairs over the
+// given transport. cleanup tears down any listener and socket directory.
+func dialCluster(transport string, p int) (coord []*Conn, workers []*Conn, cleanup func(), err error) {
+	coord = make([]*Conn, p)
+	workers = make([]*Conn, p)
+	cleanup = func() {}
+	switch transport {
+	case "", TransportPipe:
+		for i := 0; i < p; i++ {
+			a, b := net.Pipe()
+			coord[i], workers[i] = NewConn(a), NewConn(b)
+		}
+		return coord, workers, cleanup, nil
+	case TransportUnix, TransportTCP:
+		var ln net.Listener
+		if transport == TransportTCP {
+			ln, err = net.Listen("tcp", "127.0.0.1:0")
+		} else {
+			var dir string
+			if dir, err = os.MkdirTemp("", "distkcore-net-"); err != nil {
+				return nil, nil, nil, err
+			}
+			sock := filepath.Join(dir, "cluster.sock")
+			if ln, err = net.Listen("unix", sock); err != nil {
+				os.RemoveAll(dir)
+				return nil, nil, nil, err
+			}
+			cleanup = func() { os.RemoveAll(dir) }
+		}
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		defer ln.Close()
+		addr := ln.Addr()
+		for i := 0; i < p; i++ {
+			wc, err := net.Dial(addr.Network(), addr.String())
+			if err != nil {
+				cleanup()
+				return nil, nil, nil, err
+			}
+			cc, err := ln.Accept()
+			if err != nil {
+				cleanup()
+				return nil, nil, nil, err
+			}
+			coord[i], workers[i] = NewConn(cc), NewConn(wc)
+		}
+		return coord, workers, cleanup, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("unknown transport %q (want %s, %s or %s)",
+			transport, TransportPipe, TransportUnix, TransportTCP)
+	}
+}

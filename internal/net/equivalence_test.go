@@ -1,0 +1,125 @@
+package net
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"distkcore/internal/core"
+	"distkcore/internal/densest"
+	"distkcore/internal/dist"
+	"distkcore/internal/graph"
+	"distkcore/internal/quantize"
+	"distkcore/internal/shard"
+)
+
+// Cross-engine equivalence property, extended to the socket transport: the
+// coreness and weak-densest protocols must produce identical transcripts —
+// final B vectors and the full dist.Metrics, Words included — on the
+// in-process cluster engine (workers as goroutines over net.Pipe, full wire
+// protocol) as on dist.SeqEngine, over generators × seeds × P ×
+// partitioner. This is the same byte-identity contract internal/shard's
+// equivalence tests pin for the sharded engine.
+
+func equivalenceGraphs(seed int64) map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"ba":     graph.BarabasiAlbert(120, 3, seed),
+		"er":     graph.ErdosRenyi(100, 0.05, seed+1),
+		"ws":     graph.WattsStrogatz(90, 4, 0.2, seed+2),
+		"grid":   graph.Grid(8, 9),
+		"sparse": graph.ErdosRenyi(60, 0.02, seed+3), // isolated nodes
+		"figI1b": graph.FigureI1B(48).G,
+	}
+}
+
+func netEngines(t *testing.T) map[string]*Engine {
+	t.Helper()
+	out := map[string]*Engine{}
+	for _, p := range []int{1, 2, 4} {
+		for _, part := range []shard.Partitioner{shard.Hash{}, shard.Range{}, shard.Greedy{}} {
+			e := NewEngine(p, part)
+			out[fmt.Sprintf("net:%d/%s", p, part.Name())] = e
+		}
+	}
+	return out
+}
+
+func TestCorenessEquivalentAcrossNetEngines(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		for name, g := range equivalenceGraphs(seed) {
+			T := core.TForEpsilon(g.N(), 0.5)
+			for _, lam := range []quantize.Lambda{nil, quantize.NewPowerGrid(0.1)} {
+				opt := core.Options{Rounds: T, Lambda: lam}
+				ref, refMet := core.RunDistributed(g, opt, dist.SeqEngine{})
+				for ename, eng := range netEngines(t) {
+					res, met := core.RunDistributed(g, opt, eng)
+					if met != refMet {
+						t.Fatalf("seed %d %s λ=%v %s: metrics %+v, want %+v",
+							seed, name, lam, ename, met, refMet)
+					}
+					if !reflect.DeepEqual(res.B, ref.B) {
+						t.Fatalf("seed %d %s λ=%v %s: B vector diverges from seq",
+							seed, name, lam, ename)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWeakDensestEquivalentAcrossNetEngines(t *testing.T) {
+	cfg := densest.Config{Gamma: 3}
+	for _, seed := range []int64{2, 9} {
+		for name, g := range equivalenceGraphs(seed) {
+			ref, refMet := densest.RunWeakDistributed(g, cfg, dist.SeqEngine{})
+			for ename, eng := range netEngines(t) {
+				res, met := densest.RunWeakDistributed(g, cfg, eng)
+				if met != refMet {
+					t.Fatalf("seed %d %s %s: metrics %+v, want %+v", seed, name, ename, met, refMet)
+				}
+				if !reflect.DeepEqual(res, ref) {
+					t.Fatalf("seed %d %s %s: result diverges from seq", seed, name, ename)
+				}
+			}
+		}
+	}
+}
+
+// The real-socket transports must carry the identical execution: same
+// protocol metrics, same values, over unix-domain and TCP loopback
+// connections (the frames actually traverse the kernel).
+func TestSocketTransportsEquivalent(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 3, 5)
+	T := core.TForEpsilon(g.N(), 0.5)
+	opt := core.Options{Rounds: T, Lambda: quantize.NewPowerGrid(0.1)}
+	ref, refMet := core.RunDistributed(g, opt, dist.SeqEngine{})
+	for _, tr := range []string{TransportUnix, TransportTCP} {
+		eng := NewEngine(3, shard.Greedy{})
+		eng.Transport = tr
+		res, met := core.RunDistributed(g, opt, eng)
+		if met != refMet {
+			t.Fatalf("%s: metrics %+v, want %+v", tr, met, refMet)
+		}
+		if !reflect.DeepEqual(res.B, ref.B) {
+			t.Fatalf("%s: B vector diverges from seq", tr)
+		}
+		if sm := eng.ClusterMetrics(); sm.CrossFrameBytes == 0 || sm.CrossMessages == 0 {
+			t.Fatalf("%s: no cross traffic recorded: %+v", tr, sm)
+		}
+	}
+}
+
+// Vec payloads (the weak-densest aggregation vectors) must survive the
+// socket transport under the aliasing checker: decoded Vecs are delivered
+// into inboxes and re-hashed a round later, so any arena-lifetime bug in
+// the transport's decode path would trip the panic.
+func TestVecAliasingCheckCleanOverNet(t *testing.T) {
+	dist.CheckVecAliasing = true
+	defer func() { dist.CheckVecAliasing = false }()
+	g := graph.BarabasiAlbert(80, 3, 3)
+	ref, refMet := densest.RunWeakDistributed(g, densest.Config{Gamma: 3}, dist.SeqEngine{})
+	res, met := densest.RunWeakDistributed(g, densest.Config{Gamma: 3}, NewEngine(3, shard.Hash{}))
+	if met != refMet || !reflect.DeepEqual(res, ref) {
+		t.Fatalf("aliasing-checked net run diverges from seq")
+	}
+}

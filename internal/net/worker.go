@@ -1,0 +1,373 @@
+package net
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"distkcore/internal/codec"
+	"distkcore/internal/dist"
+	"distkcore/internal/graph"
+	"distkcore/internal/quantize"
+	"distkcore/internal/shard"
+)
+
+// DelayFunc is the transport's latency-injection seam: when non-nil a
+// worker calls it immediately before writing each cross-shard frame, with
+// the frame's shard pair, round and wire size. A hook may sleep
+// (netem-style link simulation) but must not mutate run state. It exists so
+// the async/dynamic lines can later plug delay models into the real
+// transport without touching the engine: the coordinator's barrier makes
+// the execution independent of timing, so a delay can slow a run but never
+// change its bytes.
+type DelayFunc func(src, dst, round, frameBytes int)
+
+// Worker is the worker-side endpoint of the cluster protocol: a
+// dist.Engine whose Run participates in one coordinated run over a
+// connection instead of driving rounds itself. It holds the full graph and
+// the full shard assignment, steps only the nodes the hello's shard index
+// assigns to it, and replays the frames the coordinator relays through
+// ghost programs so its local delivery is byte-identical to the global
+// execution (see the package comment for the argument).
+//
+// The in-process Engine constructs Workers itself. cmd/cluster uses one
+// directly: read the hello with ReadHello, resolve graph/partition/
+// protocol from its spec strings, set Hello, and hand the Worker to a
+// protocol driver (core.RunDistributed, densest.RunWeakDistributed) as its
+// engine. The returned Metrics carry this shard's share of
+// Messages/Words/WireBytes and the coordinator's run-level Rounds/Halted.
+type Worker struct {
+	// Hello is the pre-read handshake record; when nil, Run reads it from
+	// the connection as its first act.
+	Hello *codec.Hello
+	// Delay, when non-nil, runs before each outgoing frame write.
+	Delay DelayFunc
+
+	c      *Conn
+	g      *graph.Graph
+	assign []int
+	lam    quantize.Lambda
+}
+
+// NewWorker returns a worker endpoint over c for a run on g partitioned by
+// assign. The shard this worker owns arrives in the coordinator's hello.
+func NewWorker(c *Conn, g *graph.Graph, assign []int) *Worker {
+	return &Worker{c: c, g: g, assign: assign}
+}
+
+// WithWireLambda implements dist.Engine; protocol drivers call it with the
+// Λ the protocol rounds to, which the handshake then verifies against the
+// coordinator's.
+func (w *Worker) WithWireLambda(lam quantize.Lambda) dist.Engine {
+	cp := *w
+	cp.lam = lam
+	return &cp
+}
+
+// Name identifies the engine in experiment tables.
+func (w *Worker) Name() string { return "net-worker" }
+
+// Run implements dist.Engine. It performs the handshake (unless Hello was
+// pre-read) and serves rounds until the coordinator finishes the run. The
+// protocol has no recovery story by design (DESIGN.md §8 — determinism
+// over availability): any connection failure or protocol violation panics
+// after a best-effort error record to the coordinator; cmd/cluster's
+// worker recovers the panic into an exit status.
+func (w *Worker) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.Metrics {
+	met, err := w.run(g, factory, maxRounds)
+	if err != nil {
+		w.c.SendError(err)
+		panic("net: worker: " + err.Error())
+	}
+	return met
+}
+
+// replayMsg is one decoded cross-shard message awaiting ghost replay.
+type replayMsg struct {
+	to graph.NodeID
+	m  dist.Message
+}
+
+// ghost is the stand-in Program for every node owned by another worker: it
+// never acts on its own, only re-issues (in original send order) the
+// messages the real remote node sent this round, as decoded from the
+// relayed frames. Sending through the ordinary Ctx is what slots the
+// remote traffic into the local Driver's deterministic delivery order.
+type ghost struct {
+	pending [][]replayMsg
+}
+
+func (gh *ghost) Init(c *dist.Ctx)                    { gh.replay(c) }
+func (gh *ghost) Round(c *dist.Ctx, _ []dist.Message) { gh.replay(c) }
+
+func (gh *ghost) replay(c *dist.Ctx) {
+	for _, r := range gh.pending[c.ID()] {
+		c.Send(r.to, r.m)
+	}
+}
+
+func (w *Worker) run(g *graph.Graph, factory dist.Factory, maxRounds int) (dist.Metrics, error) {
+	h := w.Hello
+	if h == nil {
+		var err error
+		if h, err = ReadHello(w.c); err != nil {
+			return dist.Metrics{}, err
+		}
+		// Keep the handshake on the receiver so a later SendValues works in
+		// this flow too, not only when the caller pre-read the hello.
+		w.Hello = h
+	}
+	lam := w.lam
+	if lam == nil {
+		lam = quantize.Reals{}
+	}
+	n := g.N()
+	switch {
+	case h.Version != codec.HandshakeVersion:
+		return dist.Metrics{}, fmt.Errorf("net: handshake version %d, want %d", h.Version, codec.HandshakeVersion)
+	case h.P < 1 || h.Shard < 0 || h.Shard >= h.P:
+		return dist.Metrics{}, fmt.Errorf("net: bad shard index %d of %d", h.Shard, h.P)
+	case len(w.assign) != n:
+		return dist.Metrics{}, fmt.Errorf("net: assignment covers %d nodes, graph has %d", len(w.assign), n)
+	case h.GraphHash != g.Fingerprint():
+		return dist.Metrics{}, fmt.Errorf("net: graph fingerprint mismatch (coordinator %#x, worker %#x)", h.GraphHash, g.Fingerprint())
+	case h.PartDigest != shard.PartitionDigest(w.assign):
+		return dist.Metrics{}, fmt.Errorf("net: partition digest mismatch (coordinator %#x, worker %#x)", h.PartDigest, shard.PartitionDigest(w.assign))
+	case h.MaxRounds != maxRounds:
+		return dist.Metrics{}, fmt.Errorf("net: round budget mismatch (coordinator %d, worker %d)", h.MaxRounds, maxRounds)
+	}
+	if err := lambdaMatches(h, lam); err != nil {
+		return dist.Metrics{}, err
+	}
+
+	var local []graph.NodeID // ascending — the shard's step order
+	for v := 0; v < n; v++ {
+		if w.assign[v] == h.Shard {
+			local = append(local, v)
+		}
+	}
+	gh := &ghost{pending: make([][]replayMsg, n)}
+	d := dist.NewDriver(g, lam, func(v graph.NodeID) dist.Program {
+		if w.assign[v] == h.Shard {
+			return factory(v)
+		}
+		return gh
+	})
+
+	if err := w.c.writeRecord(recWelcome, codec.AppendWelcome(nil, codec.Welcome{
+		Version:    codec.HandshakeVersion,
+		Shard:      h.Shard,
+		GraphHash:  h.GraphHash,
+		PartDigest: h.PartDigest,
+		Nodes:      len(local),
+	})); err != nil {
+		return dist.Metrics{}, err
+	}
+	if err := w.c.flush(); err != nil {
+		return dist.Metrics{}, err
+	}
+
+	// Decoded Vec payloads live exactly one round; the arena recycles their
+	// blocks. CheckVecAliasing re-hashes delivered Vecs one delivery later —
+	// after this worker has already decoded the next round's frames over the
+	// arena — so under the checker every Vec gets a fresh allocation instead.
+	var arena *shard.VecArena
+	if !dist.CheckVecAliasing {
+		arena = new(shard.VecArena)
+	}
+	frames := make([]struct {
+		buf   []byte
+		count int
+	}, h.P)
+	var hdrBuf []byte
+	var mMsgs, mWords, mWire int64
+	var senders []graph.NodeID // remote senders with pending replays this round
+	framesIn := 0
+	curRound := -1
+
+	for {
+		typ, body, err := w.c.readRecord()
+		if err != nil {
+			return dist.Metrics{}, fmt.Errorf("net: worker read: %w", err)
+		}
+		switch typ {
+		case recStep:
+			t, k := binary.Uvarint(body)
+			if k <= 0 {
+				return dist.Metrics{}, fmt.Errorf("net: truncated step record")
+			}
+			curRound = int(t)
+			for _, v := range local {
+				d.Step(v, curRound)
+			}
+			// Tap the shard's sends: price this worker's share of the
+			// protocol Metrics (every send, intra-shard included) and
+			// frame the cross-shard subset.
+			for _, v := range local {
+				d.Sends(v, func(to graph.NodeID, m dist.Message) {
+					mMsgs++
+					mWords += int64(m.Words())
+					mWire += int64(dist.WireSize(lam, m))
+					if q := w.assign[to]; q != h.Shard {
+						fb := &frames[q]
+						fb.buf = shard.AppendMessage(fb.buf, lam, to, m)
+						fb.count++
+					}
+				})
+			}
+			nf := 0
+			for q := range frames {
+				fb := &frames[q]
+				if fb.count == 0 {
+					continue
+				}
+				fh := codec.FrameHeader{Src: h.Shard, Dst: q, Round: curRound, Count: fb.count}
+				hdrBuf = codec.AppendFrameHeader(hdrBuf[:0], fh)
+				if w.Delay != nil {
+					w.Delay(h.Shard, q, curRound, len(hdrBuf)+len(fb.buf))
+				}
+				if err := w.c.writeRecord(recFrame, hdrBuf, fb.buf); err != nil {
+					return dist.Metrics{}, err
+				}
+				fb.buf = fb.buf[:0]
+				fb.count = 0
+				nf++
+			}
+			alive := 0
+			for _, v := range local {
+				if !d.Halted(v) {
+					alive++
+				}
+			}
+			done := binary.AppendUvarint(nil, t)
+			done = binary.AppendUvarint(done, uint64(alive))
+			done = binary.AppendUvarint(done, uint64(nf))
+			if err := w.c.writeRecord(recDone, done); err != nil {
+				return dist.Metrics{}, err
+			}
+			if err := w.c.flush(); err != nil {
+				return dist.Metrics{}, err
+			}
+			// The round's local hooks have all returned, so the previous
+			// round's decoded Vecs are dead — recycle before the frames of
+			// this round decode into the arena.
+			if arena != nil {
+				arena.Reset()
+			}
+
+		case recFrame:
+			fh, k, err := codec.DecodeFrameHeader(body)
+			if err != nil {
+				return dist.Metrics{}, err
+			}
+			if fh.Dst != h.Shard || fh.Src == h.Shard || fh.Src < 0 || fh.Src >= h.P || fh.Round != curRound {
+				return dist.Metrics{}, fmt.Errorf("net: stray frame %+v at shard %d round %d", fh, h.Shard, curRound)
+			}
+			rest := body[k:]
+			cnt := 0
+			for len(rest) > 0 {
+				to, m, used, err := shard.DecodeMessage(rest, lam, arena)
+				if err != nil {
+					return dist.Metrics{}, err
+				}
+				rest = rest[used:]
+				u := m.From
+				if u < 0 || u >= n || w.assign[u] != fh.Src {
+					return dist.Metrics{}, fmt.Errorf("net: frame %d→%d carries sender %d not owned by shard %d", fh.Src, fh.Dst, u, fh.Src)
+				}
+				if to < 0 || to >= n || w.assign[to] != h.Shard {
+					return dist.Metrics{}, fmt.Errorf("net: frame %d→%d addresses node %d outside shard %d", fh.Src, fh.Dst, to, h.Shard)
+				}
+				if len(gh.pending[u]) == 0 {
+					senders = append(senders, u)
+				}
+				gh.pending[u] = append(gh.pending[u], replayMsg{to: to, m: m})
+				cnt++
+			}
+			if cnt != fh.Count {
+				return dist.Metrics{}, fmt.Errorf("net: frame %d→%d decoded %d messages, header says %d", fh.Src, fh.Dst, cnt, fh.Count)
+			}
+			framesIn++
+
+		case recDeliver:
+			t, k := binary.Uvarint(body)
+			if k <= 0 {
+				return dist.Metrics{}, fmt.Errorf("net: truncated deliver record")
+			}
+			nf, k2 := binary.Uvarint(body[k:])
+			if k2 <= 0 {
+				return dist.Metrics{}, fmt.Errorf("net: truncated deliver record")
+			}
+			if int(t) != curRound || int(nf) != framesIn {
+				return dist.Metrics{}, fmt.Errorf("net: deliver(round %d, %d frames) but worker is at round %d with %d frames", t, nf, curRound, framesIn)
+			}
+			// Ghost replay slots the remote sends into the Driver's queues;
+			// Deliver then assembles every local inbox in the global
+			// deterministic order (ascending sender, ties in send order).
+			for _, u := range senders {
+				d.Step(u, curRound)
+				gh.pending[u] = gh.pending[u][:0]
+			}
+			senders = senders[:0]
+			framesIn = 0
+			d.Deliver(nil)
+
+		case recFinish:
+			rounds, k := binary.Uvarint(body)
+			if k <= 0 || len(body) <= k {
+				return dist.Metrics{}, fmt.Errorf("net: truncated finish record")
+			}
+			halted := body[k] != 0
+			enc := binary.AppendUvarint(nil, uint64(mMsgs))
+			enc = binary.AppendUvarint(enc, uint64(mWords))
+			enc = binary.AppendUvarint(enc, uint64(mWire))
+			if err := w.c.writeRecord(recMetrics, enc); err != nil {
+				return dist.Metrics{}, err
+			}
+			if err := w.c.flush(); err != nil {
+				return dist.Metrics{}, err
+			}
+			return dist.Metrics{
+				Rounds:    int(rounds),
+				Messages:  mMsgs,
+				Words:     mWords,
+				WireBytes: mWire,
+				Halted:    halted,
+			}, nil
+
+		case recError:
+			return dist.Metrics{}, fmt.Errorf("net: coordinator aborted: %s", body)
+
+		default:
+			return dist.Metrics{}, fmt.Errorf("net: unexpected record type %d at worker", typ)
+		}
+	}
+}
+
+// SendValues ships the values of this worker's local nodes (vals is the
+// run-global n-sized result vector, e.g. the surviving numbers; remote
+// entries are ignored) as exact float bit patterns. Call it after the run,
+// when the coordinator's Spec asked WantValues; the coordinator reassembles
+// the global vector from all shards' records.
+func (w *Worker) SendValues(vals []float64) error {
+	if w.Hello == nil {
+		return fmt.Errorf("net: SendValues before handshake")
+	}
+	cnt := 0
+	for v := range vals {
+		if w.assign[v] == w.Hello.Shard {
+			cnt++
+		}
+	}
+	enc := binary.AppendUvarint(nil, uint64(cnt))
+	for v, x := range vals {
+		if w.assign[v] == w.Hello.Shard {
+			enc = binary.AppendUvarint(enc, uint64(v))
+			enc = binary.LittleEndian.AppendUint64(enc, math.Float64bits(x))
+		}
+	}
+	if err := w.c.writeRecord(recValues, enc); err != nil {
+		return err
+	}
+	return w.c.flush()
+}

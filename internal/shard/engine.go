@@ -88,20 +88,7 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 		shards[s] = append(shards[s], v)
 	}
 
-	sm := ShardMetrics{P: p, PerShardBytes: make([]int64, p)}
-	cut, tot := 0, 0
-	for _, ed := range g.Edges() {
-		if ed.IsLoop() {
-			continue
-		}
-		tot++
-		if assign[ed.U] != assign[ed.V] {
-			cut++
-		}
-	}
-	if tot > 0 {
-		sm.EdgeCutFraction = float64(cut) / float64(tot)
-	}
+	sm := ShardMetrics{P: p, PerShardBytes: make([]int64, p), EdgeCutFraction: CutFraction(g, assign)}
 
 	d := dist.NewDriver(g, lam, factory)
 
@@ -110,7 +97,10 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 	// frame and returns the decode of the bytes just written — the
 	// round trip that ties the accounting to the execution. The buffer
 	// matrix comes from a sync.Pool, so repeated runs reuse the grown
-	// encode buffers instead of allocating fresh ones.
+	// encode buffers instead of allocating fresh ones, and decoded Vec
+	// payloads are carved from the pooled arena — valid for exactly the
+	// one round their inbox lives (the arena resets right before each
+	// delivery, after the previous round's readers have all run).
 	fs := getFrameSet(p)
 	defer putFrameSet(fs)
 	frames := fs.frames
@@ -121,10 +111,10 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 		}
 		fb := &frames[sf*p+df]
 		start := len(fb.buf)
-		fb.buf = appendMessage(fb.buf, lam, to, m)
+		fb.buf = AppendMessage(fb.buf, lam, to, m)
 		fb.count++
 		sm.CrossMessages++
-		_, dm, _, err := decodeMessage(fb.buf[start:], lam)
+		_, dm, _, err := DecodeMessage(fb.buf[start:], lam, &fs.vecs)
 		if err != nil {
 			panic("shard: frame codec round trip failed: " + err.Error())
 		}
@@ -172,6 +162,12 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 			work[s] <- t
 		}
 		wg.Wait()
+		// The previous round's hooks have all returned, so last round's
+		// decoded Vecs are dead — recycle their blocks before this
+		// delivery decodes into them. (The aliasing verifier inside
+		// Deliver re-hashes the old Vecs before any route decode writes,
+		// so CheckVecAliasing still sees them intact.)
+		fs.vecs.Reset()
 		d.Deliver(route)
 		flush(t)
 	}

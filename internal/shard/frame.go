@@ -29,6 +29,11 @@ import (
 // everything else. That is what lets the engine deliver the decoded frame
 // contents — the bytes that actually crossed the wire — while staying
 // byte-identical to dist.SeqEngine.
+//
+// AppendMessage and DecodeMessage are exported because the real-socket
+// cluster transport (internal/net) ships the exact same body encoding over
+// its connections; the frame bytes a socket carries are byte-for-byte the
+// frame bytes this engine accounts (asserted by internal/net's tests).
 const (
 	tagKind  = 1 << 0 // Kind ≠ 0 follows
 	tagI0    = 1 << 1 // I0 ≠ 0 follows
@@ -43,12 +48,14 @@ type frameBuf struct {
 	count int
 }
 
-// frameSet is the p×p matrix of frame buffers of one run. Sets are recycled
-// through framePool so the encode buffers — grown to each shard pair's
-// steady-state frame size — survive across runs instead of being
-// reallocated per Engine.Run.
+// frameSet is the p×p matrix of frame buffers of one run plus the Vec
+// arena its decodes draw from. Sets are recycled through framePool so the
+// encode buffers — grown to each shard pair's steady-state frame size —
+// and the arena blocks survive across runs instead of being reallocated
+// per Engine.Run.
 type frameSet struct {
 	frames []frameBuf
+	vecs   VecArena
 }
 
 var framePool = sync.Pool{New: func() any { return new(frameSet) }}
@@ -57,6 +64,7 @@ var framePool = sync.Pool{New: func() any { return new(frameSet) }}
 // Return it with putFrameSet when the run is done.
 func getFrameSet(p int) *frameSet {
 	fs := framePool.Get().(*frameSet)
+	fs.vecs.Reset()
 	if cap(fs.frames) < p*p {
 		fs.frames = make([]frameBuf, p*p)
 		return fs
@@ -71,9 +79,42 @@ func getFrameSet(p int) *frameSet {
 
 func putFrameSet(fs *frameSet) { framePool.Put(fs) }
 
-// appendMessage appends the body encoding of m (addressed to node `to`)
+// VecArena recycles the []float64 payloads DecodeMessage materializes for
+// Vec-carrying messages. Decoded Vecs live exactly one round — they sit in
+// the receivers' inboxes until the next delivery overwrites the inbox
+// arena — so a transport resets the arena once per round, right before the
+// delivery that decodes into it, and the same blocks serve round after
+// round (DESIGN.md §7 lifetime rules). A nil *VecArena makes DecodeMessage
+// fall back to a fresh allocation per Vec, which is what correctness tests
+// that retain decoded messages use.
+type VecArena struct {
+	buf []float64
+}
+
+// Reset recycles the arena for a new round. Blocks handed out earlier stay
+// valid until the next take overwrites them, which by the one-round
+// lifetime rule is after their consumers are done.
+func (a *VecArena) Reset() { a.buf = a.buf[:0] }
+
+// take carves an n-word block. When the current block is exhausted a
+// larger one is allocated; outstanding slices keep the old block alive, so
+// growth never corrupts previously decoded messages.
+func (a *VecArena) take(n int) []float64 {
+	if cap(a.buf)-len(a.buf) < n {
+		c := 2 * (cap(a.buf) + n)
+		if c < 1024 {
+			c = 1024
+		}
+		a.buf = make([]float64, 0, c)
+	}
+	lo := len(a.buf)
+	a.buf = a.buf[:lo+n]
+	return a.buf[lo : lo+n : lo+n]
+}
+
+// AppendMessage appends the body encoding of m (addressed to node `to`)
 // under lam.
-func appendMessage(dst []byte, lam quantize.Lambda, to graph.NodeID, m dist.Message) []byte {
+func AppendMessage(dst []byte, lam quantize.Lambda, to graph.NodeID, m dist.Message) []byte {
 	dst = binary.AppendUvarint(dst, uint64(m.From))
 	dst = binary.AppendUvarint(dst, uint64(to))
 	var tag byte
@@ -109,9 +150,11 @@ func appendMessage(dst []byte, lam quantize.Lambda, to graph.NodeID, m dist.Mess
 	return dst
 }
 
-// decodeMessage reads one message body and returns the receiver, the
-// reconstructed message and the number of bytes consumed.
-func decodeMessage(src []byte, lam quantize.Lambda) (to graph.NodeID, m dist.Message, n int, err error) {
+// DecodeMessage reads one message body and returns the receiver, the
+// reconstructed message and the number of bytes consumed. Vec payloads are
+// carved from a when non-nil (see VecArena for the lifetime contract) and
+// freshly allocated otherwise.
+func DecodeMessage(src []byte, lam quantize.Lambda, a *VecArena) (to graph.NodeID, m dist.Message, n int, err error) {
 	from, k := binary.Uvarint(src)
 	if k <= 0 {
 		return 0, m, 0, fmt.Errorf("shard: truncated frame message (from)")
@@ -163,10 +206,16 @@ func decodeMessage(src []byte, lam quantize.Lambda) (to graph.NodeID, m dist.Mes
 			return 0, m, 0, fmt.Errorf("shard: truncated frame message (vec len)")
 		}
 		n += k
-		if len(src[n:]) < 8*int(l) {
+		// Divide, don't multiply: 8*l overflows for hostile lengths, and this
+		// decoder now also runs on bytes straight off a socket (internal/net).
+		if l > uint64(len(src[n:]))/8 {
 			return 0, m, 0, fmt.Errorf("shard: truncated frame message (vec)")
 		}
-		m.Vec = make([]float64, l)
+		if a != nil {
+			m.Vec = a.take(int(l))
+		} else {
+			m.Vec = make([]float64, l)
+		}
 		for i := range m.Vec {
 			m.Vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[n:]))
 			n += 8

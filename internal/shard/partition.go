@@ -16,6 +16,42 @@ type Partitioner interface {
 	Name() string
 }
 
+// PartitionDigest folds a shard assignment into a deterministic 64-bit
+// digest (word-granular FNV-1a over the length and the entries). The
+// real-socket cluster transport pins it in its handshake so a coordinator
+// and its workers cannot silently disagree on node placement — a partition
+// mismatch would corrupt the execution undetectably otherwise.
+func PartitionDigest(assign []int) uint64 {
+	const prime = 1099511628211
+	h := uint64(1469598103934665603)
+	h = (h ^ uint64(len(assign))) * prime
+	for _, s := range assign {
+		h = (h ^ uint64(s)) * prime
+	}
+	return h
+}
+
+// CutFraction returns the fraction of non-loop edges of g whose endpoints
+// fall in different shards under assign — the EdgeCutFraction entry of
+// ShardMetrics, shared by the in-process sharded engine and the socket
+// transport's cluster ledger.
+func CutFraction(g *graph.Graph, assign []int) float64 {
+	cut, tot := 0, 0
+	for _, ed := range g.Edges() {
+		if ed.IsLoop() {
+			continue
+		}
+		tot++
+		if assign[ed.U] != assign[ed.V] {
+			cut++
+		}
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(cut) / float64(tot)
+}
+
 // Hash spreads nodes by an integer hash of their ID — the
 // locality-oblivious baseline every distributed store defaults to. Its
 // expected edge-cut fraction is 1−1/p regardless of graph structure.

@@ -106,8 +106,8 @@ func TestFrameMessageRoundTrip(t *testing.T) {
 	}
 	for _, lam := range lams {
 		for _, m := range msgs {
-			buf := appendMessage(nil, lam, 123456, m)
-			to, got, n, err := decodeMessage(buf, lam)
+			buf := AppendMessage(nil, lam, 123456, m)
+			to, got, n, err := DecodeMessage(buf, lam, nil)
 			if err != nil {
 				t.Fatalf("%s %+v: decode error %v", lam.Name(), m, err)
 			}
@@ -133,17 +133,32 @@ func TestFrameMessageRoundTrip(t *testing.T) {
 	}
 }
 
+// A hostile Vec-length field must produce a decode error, not overflow
+// 8*l past the bounds check into a makeslice/arena panic — this decoder
+// now also runs on bytes straight off a socket (internal/net).
+func TestDecodeMessageRejectsHostileVecLength(t *testing.T) {
+	lam := quantize.Reals{}
+	enc := AppendMessage(nil, lam, 2, dist.Message{From: 1, Vec: []float64{1}})
+	hostile := enc[:len(enc)-9]                                                     // drop the 1-entry vec (len uvarint + word)
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x20) // uvarint ≈ 2^60
+	for _, arena := range []*VecArena{nil, new(VecArena)} {
+		if _, _, _, err := DecodeMessage(hostile, lam, arena); err == nil {
+			t.Fatal("hostile vec length accepted")
+		}
+	}
+}
+
 func TestFrameGridValuesUseGridCode(t *testing.T) {
 	// A canonical λ=0.5 grid point must ship as a 1–2 byte varint code, not
 	// the 8-byte raw escape: from(1) + to(1) + tag(1) + value(1) = 4 bytes.
 	lam := quantize.NewPowerGrid(0.5)
 	m := dist.Message{From: 1, F0: 1} // (1+λ)^0
-	if n := len(appendMessage(nil, lam, 2, m)); n != 4 {
+	if n := len(AppendMessage(nil, lam, 2, m)); n != 4 {
 		t.Fatalf("grid-point message is %d bytes, want 4", n)
 	}
 	// An off-grid value pays the escape: 3 header bytes + 8 raw bytes.
 	m.F0 = 1.1
-	if n := len(appendMessage(nil, lam, 2, m)); n != 11 {
+	if n := len(AppendMessage(nil, lam, 2, m)); n != 11 {
 		t.Fatalf("off-grid message is %d bytes, want 11", n)
 	}
 }

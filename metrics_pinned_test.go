@@ -2,9 +2,10 @@
 // DESIGN.md §7): the CSR graph core, the arena mailboxes and the pooled
 // shard frames must preserve byte-identical executions, so every Metrics
 // value below was captured on the pre-refactor edge-list/append runtime and
-// asserted verbatim ever since. A diff here means the substrate changed
-// *semantics*, not just layout — treat it as a bug, not as a number to
-// update.
+// asserted verbatim ever since. The socket-cluster engine (PR 4, DESIGN.md
+// §8) is held to the same absolute captures. A diff here means the
+// substrate changed *semantics*, not just layout — treat it as a bug, not
+// as a number to update.
 package distkcore_test
 
 import (
@@ -15,6 +16,7 @@ import (
 	"distkcore/internal/densest"
 	"distkcore/internal/dist"
 	"distkcore/internal/graph"
+	dnet "distkcore/internal/net"
 	"distkcore/internal/quantize"
 	"distkcore/internal/shard"
 )
@@ -34,7 +36,7 @@ func pinnedGraphs() []struct {
 }
 
 // TestPinnedEngineMetrics replays coreness (exact and quantized Λ) and the
-// weak densest protocol on all three engines and asserts the full Metrics
+// weak densest protocol on all four engines and asserts the full Metrics
 // against the pre-refactor captures.
 func TestPinnedEngineMetrics(t *testing.T) {
 	want := []struct {
@@ -73,6 +75,17 @@ func TestPinnedEngineMetrics(t *testing.T) {
 		"seq":          dist.SeqEngine{},
 		"par":          dist.ParEngine{},
 		"shard3greedy": shard.NewEngine(3, shard.Greedy{}),
+		// The socket-cluster engine is pinned to the same absolute captures:
+		// a real transport may not move the numbers either.
+		"net2greedy": dnet.NewEngine(2, shard.Greedy{}),
+	}
+	// The captures are engine-invariant by contract, so the net engine's
+	// expected rows are the seq rows verbatim.
+	for _, w := range want[:len(want):len(want)] {
+		if w.engine == "seq" {
+			w.engine = "net2greedy"
+			want = append(want, w)
+		}
 	}
 	for _, gg := range pinnedGraphs() {
 		T := core.TForEpsilon(gg.g.N(), 0.5)
