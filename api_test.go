@@ -197,3 +197,44 @@ func TestRoundsForAndPowerGrid(t *testing.T) {
 		t.Fatal("PowerGrid must not be exact")
 	}
 }
+
+func TestChurnAPI(t *testing.T) {
+	g := graph.BarabasiAlbert(250, 3, 29)
+	T := distkcore.RoundsFor(g.N(), 0.5)
+	delta := distkcore.RandomChurn(g, 80, 31)
+	g2, err := delta.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, refMet := distkcore.RunDistributedOn(g2, T, distkcore.SequentialEngine())
+	for _, churned := range []struct {
+		name string
+		run  func() (distkcore.CorenessResult, distkcore.Metrics, distkcore.ChurnMetrics)
+	}{
+		{"sharded", func() (distkcore.CorenessResult, distkcore.Metrics, distkcore.ChurnMetrics) {
+			eng := distkcore.ShardedEngine(4, distkcore.GreedyPartitioner())
+			eng.Churn(delta, 0)
+			res, met := distkcore.RunDistributedOn(g, T, eng)
+			return res, met, eng.ChurnMetrics()
+		}},
+		{"socket", func() (distkcore.CorenessResult, distkcore.Metrics, distkcore.ChurnMetrics) {
+			eng := distkcore.NetworkEngine(4, distkcore.GreedyPartitioner())
+			eng.Churn(delta, 0)
+			res, met := distkcore.RunDistributedOn(g, T, eng)
+			return res, met, eng.ChurnMetrics()
+		}},
+	} {
+		res, met, cm := churned.run()
+		if met != refMet {
+			t.Fatalf("%s: churned metrics %+v, fresh %+v", churned.name, met, refMet)
+		}
+		for v := range ref.B {
+			if res.B[v] != ref.B[v] {
+				t.Fatalf("%s: churned β(%d) diverges from a fresh run on the mutated graph", churned.name, v)
+			}
+		}
+		if cm.FrontierSize == 0 || cm.DeltaBytes == 0 {
+			t.Fatalf("%s: implausible churn metrics %+v", churned.name, cm)
+		}
+	}
+}

@@ -1,19 +1,22 @@
 // Command bench runs the substrate and engine benchmarks that track the
 // ROADMAP performance trajectory and writes the results as JSON. CI runs it
-// on every push and uploads the file as an artifact (BENCH_PR4.json), so the
+// on every push and uploads the file as an artifact (BENCH_PR5.json), so the
 // repo accumulates comparable data points over time.
 //
 // Usage:
 //
-//	go run ./cmd/bench -out BENCH_PR4.json -label post-socket
-//	go run ./cmd/bench -against baseline.json -out BENCH_PR4.json
+//	go run ./cmd/bench -out BENCH_PR5.json -label post-churn
+//	go run ./cmd/bench -against baseline.json -out BENCH_PR5.json
 //
 // The benchmark set mirrors BenchmarkEngines (all four execution engines on
 // the same BarabasiAlbert coreness run — the net rows measure the wire
-// protocol over in-memory pipes and over real unix sockets) plus the
-// substrate micro-benchmarks (graph build, delivery loop) that the
-// CSR/arena refactor targets. With -against, a previous report is embedded
-// as "baseline" and per-benchmark speedups are printed and recorded.
+// protocol over in-memory pipes and over real unix sockets), the substrate
+// micro-benchmarks (graph build, delivery loop) that the CSR/arena refactor
+// targets, and the churn rows: what one churn event costs as a fresh
+// recompute, as an incremental dynamic.Maintainer repair, and as a churned
+// (delta + rebalance) sharded cluster run. With -against, a previous report
+// is embedded as "baseline" and per-benchmark speedups are printed and
+// recorded.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 
 	"distkcore/internal/core"
 	"distkcore/internal/dist"
+	"distkcore/internal/dynamic"
 	"distkcore/internal/graph"
 	dnet "distkcore/internal/net"
 	"distkcore/internal/shard"
@@ -76,7 +80,7 @@ func (f *flood) Round(c *dist.Ctx, inbox []dist.Message) {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR4.json", "output JSON path ('-' for stdout)")
+		out     = flag.String("out", "BENCH_PR5.json", "output JSON path ('-' for stdout)")
 		label   = flag.String("label", "current", "label recorded in the report")
 		n       = flag.Int("n", 10_000, "BarabasiAlbert node count for the engine workload")
 		against = flag.String("against", "", "previous report to embed as baseline")
@@ -132,6 +136,42 @@ func main() {
 	rep.add("dist/deliver-flood", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			dist.SeqEngine{}.Run(fg, func(graph.NodeID) dist.Program { return &flood{rounds: 20} }, 25)
+		}
+	})
+
+	// Churn trajectory (PR 5): the three ways to absorb one edge change.
+	// fresh-recompute is the no-maintenance baseline — rebuild β from
+	// scratch on the mutated graph; incremental-maintainer repairs only the
+	// change frontier (one insert + one delete per op, so state is restored
+	// every iteration and the numbers stay comparable run to run);
+	// rebalanced-cluster absorbs a 512-op delta batch through the sharded
+	// engine's wire codec + incremental rebalance and then runs the full
+	// protocol — compare against engines/shard4-greedy for the churn
+	// overhead on top of a steady-state run.
+	delta := dist.RandomChurn(g, 512, 99)
+	mutated, err := delta.Apply(g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	rep.add("churn/fresh-recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Run(mutated, core.Options{Rounds: T})
+		}
+	})
+	mnt := dynamic.New(g, T)
+	rep.add("churn/incremental-maintainer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			u, v := i%*n, int(uint(i)*2654435761)%*n
+			mnt.InsertEdge(u, v, 1)
+			mnt.DeleteEdge(u, v)
+		}
+	})
+	rep.add("churn/rebalanced-cluster", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := shard.NewEngine(4, shard.Greedy{})
+			eng.Churn(delta, 0)
+			core.RunDistributed(g, core.Options{Rounds: T}, eng)
 		}
 	})
 

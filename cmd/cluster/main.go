@@ -21,9 +21,15 @@
 // The coordinator ships only the run *description* — a generator spec,
 // the partitioner name, the protocol spec, Λ — and 64-bit digests of the
 // graph and the partition; every worker rebuilds the inputs locally and
-// the handshake refuses to run unless all digests agree. TCP listeners
-// work the same way (-listen tcp:127.0.0.1:7001), but the protocol has no
-// authentication or encryption: keep it on localhost or a trusted link.
+// the handshake refuses to run unless all digests agree. With -churn
+// OPS[:SEED] the run additionally absorbs a deterministic edge-churn
+// batch (DESIGN.md §9): the delta travels to each worker as one wire
+// record with its digest pinned in the handshake, workers apply it and
+// incrementally rebalance their stale shard assignment (-budget caps the
+// moves), and -verify then demands bit-equality against a fresh
+// sequential run on the *mutated* graph. TCP listeners work the same way
+// (-listen tcp:127.0.0.1:7001), but the protocol has no authentication or
+// encryption: keep it on localhost or a trusted link.
 package main
 
 import (
@@ -64,7 +70,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cluster worker -listen unix:/path.sock|tcp:host:port
-  cluster coord  (-workers addr,addr,... | -spawn P) -gen ba -n 10000 [-seed S] [-eps E | -T T] [-lambda L] [-part NAME] [-verify] [-json FILE]`)
+  cluster coord  (-workers addr,addr,... | -spawn P) -gen ba -n 10000 [-seed S] [-eps E | -T T] [-lambda L] [-part NAME] [-churn OPS[:SEED] [-budget M]] [-verify] [-json FILE]`)
 	os.Exit(2)
 }
 
@@ -140,6 +146,7 @@ func runWorker(args []string) {
 	assign := part.Partition(g, h.P)
 	w := dnet.NewWorker(c, g, assign)
 	w.Hello = h
+	w.Part = part // the churn rebalance, when the hello announces a delta
 
 	// The worker side of the protocol is just core.RunDistributed with the
 	// Worker as its engine — the same driver stack every other engine runs
@@ -180,6 +187,8 @@ func runCoord(args []string) {
 		tFlag   = fs.Int("T", 0, "explicit round budget (overrides -eps)")
 		lambda  = fs.Float64("lambda", 0, "quantize transmitted values to powers of (1+lambda); 0 means Λ = ℝ")
 		partN   = fs.String("part", "greedy", "partitioner: hash, range or greedy")
+		churn   = fs.String("churn", "", cliutil.ChurnUsage)
+		budget  = fs.Int("budget", 0, "rebalance move budget under -churn (0 = whole frontier)")
 		verify  = fs.Bool("verify", false, "run the sequential engine locally and demand byte-identical Metrics and values")
 		jsonOut = fs.String("json", "", "write a JSON run report to this file")
 	)
@@ -202,6 +211,11 @@ func runCoord(args []string) {
 	if T <= 0 {
 		T = core.TForEpsilon(g.N(), *eps)
 	}
+	churnOps, churnSeed, err := cliutil.ParseChurnSpec(*churn)
+	if err != nil {
+		fatal(err)
+	}
+	delta := dist.RandomChurn(g, churnOps, churnSeed)
 
 	// Everything that acquires cluster resources runs inside this closure
 	// and returns errors, so the cleanup below always executes — fatal's
@@ -240,6 +254,17 @@ func runCoord(args []string) {
 		}
 		p := len(addrs)
 		assign := part.Partition(g, p)
+		// Under -churn the run executes on the mutated graph with the
+		// incrementally rebalanced assignment; the handshake pins both and
+		// the delta travels to every worker as a delta record (DESIGN §9).
+		runG, runAssign := g, assign
+		var cm shard.ChurnMetrics
+		if delta.Len() > 0 {
+			var err error
+			if runG, runAssign, cm, err = shard.AbsorbDelta(part, g, p, assign, delta, *budget); err != nil {
+				return err
+			}
+		}
 
 		conns := make([]*dnet.Conn, p)
 		for i, a := range addrs {
@@ -260,12 +285,14 @@ func runCoord(args []string) {
 			P:          p,
 			MaxRounds:  T,
 			Lam:        lam,
-			GraphHash:  g.Fingerprint(),
-			PartDigest: shard.PartitionDigest(assign),
+			GraphHash:  runG.Fingerprint(),
+			PartDigest: shard.PartitionDigest(runAssign),
 			GraphSpec:  spec,
 			PartName:   part.Name(),
 			ProtoSpec:  fmt.Sprintf("coreness:%d", T),
 			WantValues: true,
+			Delta:      delta,
+			MoveBudget: *budget,
 		})
 		if err != nil {
 			return err
@@ -277,8 +304,8 @@ func runCoord(args []string) {
 			}
 		}
 		procs = nil // all reaped; nothing for the cleanup pass to kill
-		rep.Sharding.EdgeCutFraction = shard.CutFraction(g, assign)
-		b, err := rep.Assemble(g.N())
+		rep.Sharding.EdgeCutFraction = shard.CutFraction(runG, runAssign)
+		b, err := rep.Assemble(runG.N())
 		if err != nil {
 			return err
 		}
@@ -289,10 +316,18 @@ func runCoord(args []string) {
 		sm := rep.Sharding
 		fmt.Printf("  cluster: cut=%.3f crossMsgs=%d frameBytes=%d maxShardBytes=%d\n",
 			sm.EdgeCutFraction, sm.CrossMessages, sm.CrossFrameBytes, sm.MaxShardBytes)
+		if delta.Len() > 0 {
+			fmt.Printf("  churn: ops=%d frontier=%d moved=%d movedKB=%.1f deltaBytes=%d cut %.3f→%.3f\n",
+				delta.Len(), cm.FrontierSize, cm.MovedNodes, float64(cm.MovedBytes)/1e3,
+				cm.DeltaBytes, cm.EdgeCutBefore, cm.EdgeCutAfter)
+		}
 
 		verified := false
 		if *verify {
-			ref, refMet := core.RunDistributed(g, core.Options{Rounds: T, Lambda: lam}, dist.SeqEngine{})
+			// The reference is a fresh sequential run on the MUTATED graph:
+			// a churned cluster must be indistinguishable from rebuilding
+			// from scratch.
+			ref, refMet := core.RunDistributed(runG, core.Options{Rounds: T, Lambda: lam}, dist.SeqEngine{})
 			if met != refMet {
 				return fmt.Errorf("METRICS DIVERGE from sequential engine:\n  cluster %+v\n  seq     %+v", met, refMet)
 			}
@@ -305,7 +340,7 @@ func runCoord(args []string) {
 			fmt.Println("  verify: Metrics and all surviving numbers byte-identical to the sequential engine ✓")
 		}
 
-		return writeReport(*jsonOut, spec, p, part.Name(), T, met, sm, verified, elapsed)
+		return writeReport(*jsonOut, spec, p, part.Name(), T, met, sm, delta.Len(), cm, verified, elapsed)
 	}()
 	for _, cmd := range procs {
 		cmd.Process.Kill()
@@ -320,11 +355,11 @@ func runCoord(args []string) {
 }
 
 // writeReport writes the optional JSON run report.
-func writeReport(path, spec string, p int, part string, T int, met dist.Metrics, sm shard.ShardMetrics, verified bool, elapsed time.Duration) error {
+func writeReport(path, spec string, p int, part string, T int, met dist.Metrics, sm shard.ShardMetrics, churnOps int, cm shard.ChurnMetrics, verified bool, elapsed time.Duration) error {
 	if path == "" {
 		return nil
 	}
-	out, err := json.MarshalIndent(map[string]any{
+	rec := map[string]any{
 		"graph":      spec,
 		"workers":    p,
 		"part":       part,
@@ -333,7 +368,12 @@ func writeReport(path, spec string, p int, part string, T int, met dist.Metrics,
 		"sharding":   sm,
 		"verified":   verified,
 		"elapsed_ms": elapsed.Milliseconds(),
-	}, "", "  ")
+	}
+	if churnOps > 0 {
+		rec["churn_ops"] = churnOps
+		rec["churn"] = cm
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -21,7 +21,11 @@
 // message-passing runtime with four byte-identical execution engines:
 // sequential (the reference), goroutine-per-node, sharded cluster, and a
 // real-socket cluster (coordinator + P workers over pipes or sockets; see
-// cmd/cluster for the multi-process form).
+// cmd/cluster for the multi-process form). Both cluster engines absorb
+// edge churn without re-sharding from scratch: install a GraphDelta with
+// their Churn methods and the run applies it under pinned digests, moves
+// only change-frontier nodes, and stays byte-identical to a fresh run on
+// the mutated graph (DESIGN.md §9).
 //
 // The subpackages under internal/ carry the implementation; this package
 // re-exports the surface a downstream user needs. See README.md for a
@@ -78,7 +82,25 @@ type (
 	// the Engine contract it reports ClusterMetrics (a ShardMetrics measured
 	// on frames that crossed real connections).
 	SocketEngine = dnet.Engine
+	// EdgeOp is one edge mutation of a churn batch: an insertion of {U,V}
+	// with weight W, or (Del) a deletion of one existing copy.
+	EdgeOp = dist.EdgeOp
+	// GraphDelta is a batched churn delta with a canonical application
+	// order and a 64-bit digest — the unit of edge churn both cluster
+	// engines absorb via their Churn methods (DESIGN.md §9). Apply executes
+	// it against an immutable Graph and returns the mutated one.
+	GraphDelta = dist.GraphDelta
+	// ChurnMetrics reports what absorbing one delta batch cost a cluster:
+	// frontier size, nodes/bytes moved by the incremental rebalance, delta
+	// wire bytes, and the edge cut before/after.
+	ChurnMetrics = shard.ChurnMetrics
 )
+
+// RandomChurn builds a deterministic churn batch of ops edge mutations for
+// g (seeded coin: insert a random unit edge or delete a live one), always
+// cleanly applicable — the workload generator behind the -churn CLI flags
+// and experiment E19.
+func RandomChurn(g *Graph, ops int, seed int64) GraphDelta { return dist.RandomChurn(g, ops, seed) }
 
 // SequentialEngine returns the deterministic single-threaded engine — the
 // reference scheduler every protocol is tested against.

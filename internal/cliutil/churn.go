@@ -1,0 +1,62 @@
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"distkcore/internal/dist"
+	"distkcore/internal/graph"
+	dnet "distkcore/internal/net"
+	"distkcore/internal/shard"
+)
+
+// ChurnUsage is the -churn flag help text shared by the CLI tools.
+const ChurnUsage = "apply a churn batch before the run: OPS[:SEED] random edge inserts/deletes (seed default 1)"
+
+// ParseChurnSpec parses a -churn flag value "OPS[:SEED]" into the batch
+// size and generator seed of dist.RandomChurn. The empty string means no
+// churn (0 ops).
+func ParseChurnSpec(spec string) (ops int, seed int64, err error) {
+	s := strings.TrimSpace(spec)
+	if s == "" {
+		return 0, 0, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) > 2 {
+		return 0, 0, fmt.Errorf("bad churn spec %q (want OPS[:SEED])", spec)
+	}
+	if ops, err = strconv.Atoi(parts[0]); err != nil || ops < 0 {
+		return 0, 0, fmt.Errorf("bad op count in churn spec %q", spec)
+	}
+	seed = 1
+	if len(parts) == 2 {
+		if seed, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
+			return 0, 0, fmt.Errorf("bad seed in churn spec %q", spec)
+		}
+	}
+	return ops, seed, nil
+}
+
+// ApplyChurn routes a churn batch to the engine the run will use. Engines
+// with a native churn path — the sharded cluster engine and the socket
+// cluster, whose Churn methods absorb the delta through the wire protocol
+// and rebalance incrementally — get the batch installed and the pre-churn
+// graph back, so the subsequent Run exercises the full §9 protocol. Direct
+// engines (seq, par) have no placement to maintain; for them the mutated
+// graph is returned and the run is simply a fresh run on it. Either way
+// the executions are byte-identical (the §9 determinism argument).
+func ApplyChurn(g *graph.Graph, d dist.GraphDelta, moveBudget int, eng dist.Engine) (*graph.Graph, error) {
+	if len(d.Ops) == 0 {
+		return g, nil
+	}
+	switch e := eng.(type) {
+	case *shard.Engine:
+		e.Churn(d, moveBudget)
+		return g, nil
+	case *dnet.Engine:
+		e.Churn(d, moveBudget)
+		return g, nil
+	}
+	return d.Apply(g)
+}

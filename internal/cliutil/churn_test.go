@@ -1,0 +1,57 @@
+package cliutil
+
+import (
+	"testing"
+
+	"distkcore/internal/dist"
+	"distkcore/internal/graph"
+	dnet "distkcore/internal/net"
+	"distkcore/internal/shard"
+)
+
+func TestParseChurnSpec(t *testing.T) {
+	for spec, want := range map[string][2]int64{
+		"":       {0, 0},
+		"200":    {200, 1},
+		"64:9":   {64, 9},
+		" 32:-4": {32, -4},
+	} {
+		ops, seed, err := ParseChurnSpec(spec)
+		if err != nil || int64(ops) != want[0] || seed != want[1] {
+			t.Errorf("ParseChurnSpec(%q) = (%d, %d, %v), want (%d, %d)", spec, ops, seed, err, want[0], want[1])
+		}
+	}
+	for _, spec := range []string{"x", "-3", "10:z", "1:2:3"} {
+		if _, _, err := ParseChurnSpec(spec); err == nil {
+			t.Errorf("ParseChurnSpec(%q) accepted an invalid spec", spec)
+		}
+	}
+}
+
+func TestApplyChurnRouting(t *testing.T) {
+	g := graph.BarabasiAlbert(80, 3, 2)
+	d := dist.RandomChurn(g, 20, 3)
+	// Direct engines get the mutated graph back.
+	g2, err := ApplyChurn(g, d, 0, dist.SeqEngine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Fingerprint() == g.Fingerprint() {
+		t.Fatal("seq: ApplyChurn did not mutate the graph")
+	}
+	// Cluster engines keep the pre-churn graph and absorb the delta
+	// natively (the engine-side churn path is what the run exercises).
+	for _, eng := range []dist.Engine{shard.NewEngine(2, nil), dnet.NewEngine(2, nil)} {
+		got, err := ApplyChurn(g, d, 0, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != g {
+			t.Fatalf("%T: ApplyChurn must hand cluster engines the pre-churn graph", eng)
+		}
+	}
+	// The empty delta is a no-op everywhere.
+	if got, _ := ApplyChurn(g, dist.GraphDelta{}, 0, dist.SeqEngine{}); got != g {
+		t.Fatal("empty delta must return the graph unchanged")
+	}
+}

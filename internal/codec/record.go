@@ -88,18 +88,26 @@ type Hello struct {
 	MaxRounds  int
 	GraphHash  uint64
 	PartDigest uint64
-	LamKind    byte    // LamReals | LamPowerGrid | LamOpaque
-	LamL       float64 // λ when LamKind == LamPowerGrid
-	LamName    string  // Lambda.Name() when LamKind == LamOpaque
-	GraphSpec  string  // e.g. "ba:10000:7"; empty in-process
-	PartName   string  // partitioner name, e.g. "greedy"
-	ProtoSpec  string  // e.g. "coreness:23"; empty in-process
-	WantValues bool    // ship per-node result values after the metrics record
+	// DeltaDigest pins the churn batch of the run (dist.GraphDelta.Digest).
+	// Non-zero means a delta record follows the hello: the worker must
+	// apply that batch to its pre-churn graph before welcoming, and
+	// GraphHash/PartDigest above pin the *post-churn* graph and the
+	// *rebalanced* assignment. Zero means no churn and the digests pin the
+	// inputs as resolved.
+	DeltaDigest uint64
+	LamKind     byte    // LamReals | LamPowerGrid | LamOpaque
+	LamL        float64 // λ when LamKind == LamPowerGrid
+	LamName     string  // Lambda.Name() when LamKind == LamOpaque
+	GraphSpec   string  // e.g. "ba:10000:7"; empty in-process
+	PartName    string  // partitioner name, e.g. "greedy"
+	ProtoSpec   string  // e.g. "coreness:23"; empty in-process
+	WantValues  bool    // ship per-node result values after the metrics record
 }
 
 // HandshakeVersion is the protocol version stamped into Hello and Welcome;
-// both sides reject a peer speaking any other version.
-const HandshakeVersion = 1
+// both sides reject a peer speaking any other version. Version 2 added
+// DeltaDigest and the delta record of the churn protocol (DESIGN.md §9).
+const HandshakeVersion = 2
 
 // AppendHello appends the wire encoding of h to dst.
 func AppendHello(dst []byte, h Hello) []byte {
@@ -109,6 +117,7 @@ func AppendHello(dst []byte, h Hello) []byte {
 	dst = binary.AppendUvarint(dst, uint64(h.MaxRounds))
 	dst = binary.LittleEndian.AppendUint64(dst, h.GraphHash)
 	dst = binary.LittleEndian.AppendUint64(dst, h.PartDigest)
+	dst = binary.LittleEndian.AppendUint64(dst, h.DeltaDigest)
 	dst = append(dst, h.LamKind)
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(h.LamL))
 	dst = appendString(dst, h.LamName)
@@ -131,6 +140,7 @@ func DecodeHello(src []byte) (Hello, int, error) {
 	h.MaxRounds = int(d.uvarint())
 	h.GraphHash = d.u64()
 	h.PartDigest = d.u64()
+	h.DeltaDigest = d.u64()
 	h.LamKind = d.byte()
 	h.LamL = math.Float64frombits(d.u64())
 	h.LamName = d.string()

@@ -19,7 +19,7 @@ import (
 type asyncElimination struct {
 	id   graph.NodeID
 	b    float64
-	nbrB map[graph.NodeID]float64
+	nbrB PeerTable // latest value per neighbor, flat (DESIGN.md §7)
 	sink *AsyncResult
 
 	// reusable recompute buffers (the async twin of the scratch slices the
@@ -58,12 +58,11 @@ func RunAsyncElimination(g *graph.Graph, d dist.DelayModel, maxEvents int64) (*A
 
 func (p *asyncElimination) InitAsync(c *dist.AsyncCtx) {
 	arcs := c.Neighbors()
-	p.nbrB = make(map[graph.NodeID]float64, len(arcs))
+	p.nbrB = NewPeerTable(p.id, arcs, c.Peers(), math.Inf(1))
 	p.bs = make([]float64, 0, len(arcs))
 	p.ws = make([]float64, 0, len(arcs))
 	p.scratch = make([]int, 0, len(arcs))
 	for _, a := range arcs {
-		p.nbrB[a.To] = math.Inf(1)
 		p.ws = append(p.ws, a.W)
 	}
 	// Initial value: the local degree (what one synchronous round yields —
@@ -73,22 +72,18 @@ func (p *asyncElimination) InitAsync(c *dist.AsyncCtx) {
 }
 
 func (p *asyncElimination) OnMessage(c *dist.AsyncCtx, m dist.Message) {
-	if m.F0 >= p.nbrB[m.From] {
+	if m.F0 >= p.nbrB.Get(m.From) {
 		return // stale or duplicate announcement
 	}
-	p.nbrB[m.From] = m.F0
+	p.nbrB.Set(m.From, m.F0)
 	p.recompute(c)
 }
 
 func (p *asyncElimination) recompute(c *dist.AsyncCtx) {
 	p.sink.Recomputes++
 	p.bs = p.bs[:0]
-	for _, a := range c.Neighbors() {
-		if a.To == p.id {
-			p.bs = append(p.bs, p.b)
-		} else {
-			p.bs = append(p.bs, p.nbrB[a.To])
-		}
+	for i := range c.Neighbors() {
+		p.bs = append(p.bs, p.nbrB.ArcVal(i, p.b))
 	}
 	nb := UpdateValue(p.bs, p.ws, p.scratch)
 	if nb < p.b {

@@ -79,3 +79,35 @@ func TestAsyncEventBudgetRespected(t *testing.T) {
 		t.Fatalf("events=%d exceeded budget", met.Events)
 	}
 }
+
+// The PR 3 refactor replaced the synchronous protocols' per-node
+// map[NodeID]float64 with the flat core.PeerTable; this pins its async
+// twin: after InitAsync, the OnMessage/recompute hot path must not
+// allocate, so a run's total allocations are init-bound (per-node tables
+// and buffers) and independent of how many events are delivered.
+func TestAsyncRecomputeAllocationFree(t *testing.T) {
+	g := graph.BarabasiAlbert(400, 4, 6)
+	d := dist.DelayModel{Base: 0.1, Jitter: 50, Seed: 2}
+	run := func(maxEvents int64) (events int64) {
+		_, met := RunAsyncElimination(g, d, maxEvents)
+		return met.Events
+	}
+	const short = 2000
+	se, fe := run(short), run(1e7)
+	if fe < 4*short {
+		t.Fatalf("test premise broken: full run delivered %d events, want >> %d", fe, short)
+	}
+	cut := testing.AllocsPerRun(3, func() { run(short) })
+	full := testing.AllocsPerRun(3, func() { run(1e7) })
+	// The full run delivers many times more events than the cut-off run;
+	// nearly-equal allocation counts mean the per-event path is
+	// allocation-free (slack covers event-queue growth, which is amortized
+	// in the queue's high-water mark).
+	if full > cut+float64(g.N()) {
+		t.Errorf("allocations scale with events: %.0f at %d events vs %.0f at %d", full, fe, cut, se)
+	}
+	// And both are init-bound: a handful of structures per node.
+	if cut > float64(10*g.N()) {
+		t.Errorf("async init allocates %.0f objects for %d nodes — per-node structures regressed", cut, g.N())
+	}
+}

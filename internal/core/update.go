@@ -138,8 +138,15 @@ func (u *Updater) Step(bOf func(arcIdx int) float64) (b float64, aux []int) {
 // UpdateValue runs Algorithm 3 without maintaining any order or auxiliary
 // set: it returns only the new surviving number for a node whose incident
 // edges have weights w and whose neighbors currently hold values bs.
-// This is the allocation-light path used by the centralized simulator when
-// auxiliary sets are not requested.
+// This is the allocation-free path used by the centralized simulator when
+// auxiliary sets are not requested, by the asynchronous elimination's
+// recompute, and by dynamic.Maintainer's frontier repair — all of which
+// call it once per node evaluation on their hot paths, which is why the
+// argsort below is a hand-rolled heapsort rather than sort.Slice (whose
+// closure and reflection-based swapper allocate per call; pinned by
+// TestAsyncRecomputeAllocationFree). Unlike Updater.Step it needs no
+// stable tie order: the returned value is a function of the (b, w)
+// multiset alone.
 func UpdateValue(bs, w []float64, scratch []int) float64 {
 	d := len(bs)
 	if d == 0 {
@@ -149,7 +156,7 @@ func UpdateValue(bs, w []float64, scratch []int) float64 {
 	for i := 0; i < d; i++ {
 		idx = append(idx, i)
 	}
-	sort.Slice(idx, func(a, b int) bool { return bs[idx[a]] < bs[idx[b]] })
+	argsortByVal(idx, bs)
 	s := 0.0
 	for i := d - 1; i >= 0; i-- {
 		s += w[idx[i]]
@@ -165,6 +172,38 @@ func UpdateValue(bs, w []float64, scratch []int) float64 {
 		}
 	}
 	return 0
+}
+
+// argsortByVal heapsorts idx ascending by bs[idx[i]]: in-place, no
+// allocation, no reflection. Tie order is unspecified (heapsort is not
+// stable) — see UpdateValue for why that is sound.
+func argsortByVal(idx []int, bs []float64) {
+	d := len(idx)
+	for i := d/2 - 1; i >= 0; i-- {
+		siftDownByVal(idx, bs, i, d)
+	}
+	for n := d - 1; n > 0; n-- {
+		idx[0], idx[n] = idx[n], idx[0]
+		siftDownByVal(idx, bs, 0, n)
+	}
+}
+
+// siftDownByVal restores the max-heap property of idx[:n] under bs at root i.
+func siftDownByVal(idx []int, bs []float64, i, n int) {
+	for {
+		l, r, max := 2*i+1, 2*i+2, i
+		if l < n && bs[idx[l]] > bs[idx[max]] {
+			max = l
+		}
+		if r < n && bs[idx[r]] > bs[idx[max]] {
+			max = r
+		}
+		if max == i {
+			return
+		}
+		idx[i], idx[max] = idx[max], idx[i]
+		i = max
+	}
 }
 
 // TForGamma returns the round count T = ⌈log n / log(γ/2)⌉ sufficient for a

@@ -1,7 +1,6 @@
 package dist
 
 import (
-	"container/heap"
 	"math/rand"
 
 	"distkcore/internal/graph"
@@ -73,6 +72,11 @@ func (c *AsyncCtx) ID() graph.NodeID { return c.id }
 // Neighbors returns the node's adjacency list (see Ctx.Neighbors).
 func (c *AsyncCtx) Neighbors() []graph.Arc { return c.arcs }
 
+// Peers returns the node's distinct neighbors, self excluded, ascending —
+// the recipients of Broadcast (see Ctx.Peers). The slice is shared
+// topology state; the caller must not modify it.
+func (c *AsyncCtx) Peers() []graph.NodeID { return c.peers }
+
 // WeightedDegree returns deg(v) = Σ_{e : v ∈ e} w(e) — the value a node
 // can announce before hearing from anyone (one synchronous round's worth
 // of knowledge for free).
@@ -108,23 +112,59 @@ type event struct {
 	m   Message
 }
 
+// eventQueue is a binary min-heap over (at, seq), implemented directly on
+// the event slice rather than through container/heap: the any-boxing of
+// heap.Push/Pop allocates once per posted message, which made the whole
+// asynchronous hot path allocate per event (pinned since by
+// core.TestAsyncRecomputeAllocationFree). The (at, seq) order is strict
+// (seq is unique), so the pop sequence — and with it every simulated run —
+// is the same total order container/heap produced.
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	*q = old[:n-1]
-	return ev
+
+func (q *eventQueue) push(ev event) {
+	*q = append(*q, ev)
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the Vec reference held by the vacated slot
+	*q = h[:n]
+	h = h[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.less(l, min) {
+			min = l
+		}
+		if r < n && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
 }
 
 type asyncRun struct {
@@ -137,7 +177,7 @@ type asyncRun struct {
 
 func (r *asyncRun) post(now float64, to graph.NodeID, m Message) {
 	r.met.Messages++
-	heap.Push(&r.q, event{at: now + r.d.sample(r.rng), seq: r.seq, to: to, m: m})
+	r.q.push(event{at: now + r.d.sample(r.rng), seq: r.seq, to: to, m: m})
 	r.seq++
 }
 
@@ -165,14 +205,14 @@ func RunAsync(g *graph.Graph, factory AsyncFactory, d DelayModel, maxEvents int6
 	for v := 0; v < n; v++ {
 		progs[v].InitAsync(ctxs[v])
 	}
-	for run.q.Len() > 0 && run.met.Events < maxEvents {
-		ev := heap.Pop(&run.q).(event)
+	for len(run.q) > 0 && run.met.Events < maxEvents {
+		ev := run.q.pop()
 		run.met.Events++
 		run.met.VirtualTime = ev.at
 		c := ctxs[ev.to]
 		c.now = ev.at
 		progs[ev.to].OnMessage(c, ev.m)
 	}
-	run.met.Quiesced = run.q.Len() == 0
+	run.met.Quiesced = len(run.q) == 0
 	return run.met
 }

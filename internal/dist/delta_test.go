@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"testing"
+
+	"distkcore/internal/graph"
+)
+
+func deltaTestGraph() *graph.Graph {
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1, 1).AddEdge(1, 2, 2).AddEdge(0, 1, 3).AddEdge(3, 3, 1)
+	return b.Build()
+}
+
+func TestDeltaApplyCanonicalOrder(t *testing.T) {
+	g := deltaTestGraph()
+	d := GraphDelta{Ops: []EdgeOp{
+		{Del: true, U: 1, V: 0}, // removes the FIRST {0,1} copy (w=1), endpoints unordered
+		{U: 2, V: 4, W: 5},      // appends at the end
+		{Del: true, U: 3, V: 3}, // self-loop delete
+	}}
+	g2, err := d.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Edge{{U: 1, V: 2, W: 2}, {U: 0, V: 1, W: 3}, {U: 2, V: 4, W: 5}}
+	got := g2.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("edges %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d: %v, want %v (application order must be canonical)", i, got[i], want[i])
+		}
+	}
+	// The base graph is untouched.
+	if g.M() != 4 {
+		t.Fatalf("Apply mutated the base graph: m=%d", g.M())
+	}
+	// Determinism down to the fingerprint: same base + same delta ⇒ same
+	// graph, the property the wire protocol pins by digest.
+	g3, _ := d.Apply(g)
+	if g2.Fingerprint() != g3.Fingerprint() {
+		t.Fatal("two applications of the same delta disagree")
+	}
+}
+
+func TestDeltaApplyErrors(t *testing.T) {
+	g := deltaTestGraph()
+	for name, d := range map[string]GraphDelta{
+		"missing delete":          {Ops: []EdgeOp{{Del: true, U: 2, V: 4}}},
+		"double delete":           {Ops: []EdgeOp{{Del: true, U: 1, V: 2}, {Del: true, U: 1, V: 2}}},
+		"out of range":            {Ops: []EdgeOp{{U: 0, V: 9, W: 1}}},
+		"negative node":           {Ops: []EdgeOp{{Del: true, U: -1, V: 0}}},
+		"negative weight":         {Ops: []EdgeOp{{U: 0, V: 1, W: -2}}},
+		"NaN weight":              {Ops: []EdgeOp{{U: 0, V: 1, W: nan()}}},
+		"delete after exhausting": {Ops: []EdgeOp{{Del: true, U: 0, V: 1}, {Del: true, U: 0, V: 1}, {Del: true, U: 0, V: 1}}},
+	} {
+		if _, err := d.Apply(g); err == nil {
+			t.Errorf("%s: Apply accepted an invalid delta", name)
+		}
+	}
+	// An insert-then-delete of the same new edge is valid (the delete finds
+	// the freshly appended copy once the original ones are gone).
+	ok := GraphDelta{Ops: []EdgeOp{{U: 2, V: 4, W: 1}, {Del: true, U: 4, V: 2}}}
+	g2, err := ok.Apply(g)
+	if err != nil {
+		t.Fatalf("insert-then-delete: %v", err)
+	}
+	if g2.Fingerprint() != g.Fingerprint() {
+		t.Fatal("insert-then-delete of a fresh edge must be a no-op")
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestDeltaDigest(t *testing.T) {
+	a := GraphDelta{Ops: []EdgeOp{{U: 1, V: 2, W: 3}}}
+	b := GraphDelta{Ops: []EdgeOp{{U: 1, V: 2, W: 3}}}
+	if a.Digest() != b.Digest() {
+		t.Fatal("equal deltas disagree on digest")
+	}
+	if (GraphDelta{}).Digest() != 0 {
+		t.Fatal("empty delta must digest to 0 (the handshake's no-churn marker)")
+	}
+	variants := []GraphDelta{
+		{Ops: []EdgeOp{{U: 2, V: 1, W: 3}}},                     // endpoint order is semantic for digesting
+		{Ops: []EdgeOp{{U: 1, V: 2, W: 4}}},                     // weight differs
+		{Ops: []EdgeOp{{Del: true, U: 1, V: 2}}},                // kind differs
+		{Ops: []EdgeOp{{U: 1, V: 2, W: 3}, {U: 0, V: 0, W: 1}}}, // length differs
+	}
+	for i, v := range variants {
+		if v.Digest() == a.Digest() {
+			t.Errorf("variant %d collides with the base digest", i)
+		}
+	}
+}
+
+func TestRandomChurnDeterministicAndApplicable(t *testing.T) {
+	g := graph.BarabasiAlbert(200, 3, 4)
+	a := RandomChurn(g, 300, 7)
+	b := RandomChurn(g, 300, 7)
+	if a.Digest() != b.Digest() {
+		t.Fatal("RandomChurn is not a pure function of (g, ops, seed)")
+	}
+	if RandomChurn(g, 300, 8).Digest() == a.Digest() {
+		t.Fatal("different seeds produced the same batch")
+	}
+	if a.Len() != 300 {
+		t.Fatalf("batch has %d ops, want 300", a.Len())
+	}
+	// Every generated batch must apply cleanly: deletes always reference
+	// edges alive at their point of the batch.
+	if _, err := a.Apply(g); err != nil {
+		t.Fatalf("generated batch does not apply: %v", err)
+	}
+	dels := 0
+	for _, op := range a.Ops {
+		if op.Del {
+			dels++
+		}
+	}
+	if dels == 0 || dels == a.Len() {
+		t.Fatalf("batch is not a mix of inserts and deletes (%d/%d deletes)", dels, a.Len())
+	}
+}

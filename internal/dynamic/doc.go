@@ -1,0 +1,28 @@
+// Package dynamic maintains the surviving numbers β_T(v) of the compact
+// elimination procedure under edge insertions and deletions, in the spirit
+// of the distributed k-core maintenance of Aridhi et al. (DEBS'16), which
+// the paper cites as the dynamic-graph extension of Montresor et al.
+//
+// The key observation is the locality that powers Theorem I.1 itself:
+// β_t(v) is a function of v's t-hop neighborhood only, so an edge change
+// can alter β_t only at nodes within t hops of its endpoints. The
+// Maintainer stores the full per-round history H[t][v] and, on an update,
+// re-evaluates round t only at the *change frontier* — the endpoints plus
+// the neighbors of nodes whose round-(t-1) value changed — which usually
+// dies out long before it reaches the T-hop ball's boundary. Experiment
+// E14 measures the bill (re-evals per update versus the n·T full
+// recompute); DensestValue additionally keeps max_v β_T(v), the
+// evolving-graphs densest-subgraph functionality of the Epasto et al. /
+// Hu et al. lines the paper cites, for one slice scan per repair.
+//
+// The package is also the churn oracle of the cluster protocol
+// (DESIGN.md §9): Maintainer.ApplyDelta absorbs the same dist.GraphDelta
+// batches the execution engines absorb by mutate-and-rerun, and experiment
+// E19 pins the two against each other — the maintainer must land on the
+// same β values as a from-scratch run on the mutated graph while touching
+// only the frontier.
+//
+// Everything here is centralized, single-threaded and deterministic; the
+// distributed twin of an update is the engines' churn path, not this
+// package.
+package dynamic

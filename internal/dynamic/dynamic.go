@@ -1,14 +1,3 @@
-// Package dynamic maintains the surviving numbers β_T(v) of the compact
-// elimination procedure under edge insertions and deletions, in the spirit
-// of the distributed k-core maintenance of Aridhi et al. (DEBS'16), which
-// the paper cites as the dynamic-graph extension of Montresor et al.
-//
-// The key observation is the locality that powers Theorem I.1 itself:
-// β_t(v) is a function of v's t-hop neighborhood only, so an edge change
-// can alter β_t at nodes within t hops of its endpoints. The Maintainer
-// stores the full per-round history H[t][v] and, on an update, re-evaluates
-// round t only at nodes adjacent to round-(t-1) changes — a change frontier
-// that usually dies out long before it reaches the T-hop ball's boundary.
 package dynamic
 
 import (
@@ -16,6 +5,7 @@ import (
 	"math"
 
 	"distkcore/internal/core"
+	"distkcore/internal/dist"
 	"distkcore/internal/graph"
 )
 
@@ -126,6 +116,35 @@ func (m *Maintainer) InsertEdge(u, v graph.NodeID, w float64) {
 	m.repair(u, v)
 }
 
+// ApplyDelta applies a batched churn delta op by op, repairing the history
+// after each mutation — the oracle side of the cluster churn protocol
+// (DESIGN.md §9): the same dist.GraphDelta an engine absorbs by
+// rebuild-and-rerun, the Maintainer absorbs by frontier repair, and
+// experiment E19 compares the two bills. The mutations follow the delta's
+// canonical application order; a delete of a missing edge fails the batch
+// at its op index with the Maintainer reflecting exactly the prefix that
+// applied (a failed delta must abort a run, not fork state silently —
+// callers treat the error the way the wire protocol treats a digest
+// mismatch).
+func (m *Maintainer) ApplyDelta(d dist.GraphDelta) error {
+	for i, op := range d.Ops {
+		if op.U < 0 || op.U >= m.n || op.V < 0 || op.V >= m.n {
+			return fmt.Errorf("dynamic: delta op %d: edge (%d,%d) out of range [0,%d)", i, op.U, op.V, m.n)
+		}
+		if op.Del {
+			if !m.DeleteEdge(op.U, op.V) {
+				return fmt.Errorf("dynamic: delta op %d: delete of missing edge {%d,%d}", i, op.U, op.V)
+			}
+			continue
+		}
+		if op.W < 0 || math.IsNaN(op.W) || math.IsInf(op.W, 0) {
+			return fmt.Errorf("dynamic: delta op %d: invalid insert weight %v", i, op.W)
+		}
+		m.InsertEdge(op.U, op.V, op.W)
+	}
+	return nil
+}
+
 // DeleteEdge removes one copy of the undirected edge {u,v} and repairs the
 // history; it reports whether such an edge existed.
 func (m *Maintainer) DeleteEdge(u, v graph.NodeID) bool {
@@ -139,12 +158,20 @@ func (m *Maintainer) DeleteEdge(u, v graph.NodeID) bool {
 	return true
 }
 
+// removeArc removes the FIRST arc from→to in adjacency order,
+// order-preserving. Both halves matter for the oracle contract: adjacency
+// lists start in edge-insertion order (graph.Build lays CSR arcs out that
+// way) and InsertEdge appends, so the first match is the lowest-index copy
+// of the edge — exactly the one dist.GraphDelta.Apply deletes — and the
+// shift (not a swap) keeps the order intact so *later* deletes keep
+// picking canonical copies too. With a swap-remove, parallel edges of
+// different weights could make the maintainer delete a different copy than
+// the engines, silently forking the edge multiset.
 func (m *Maintainer) removeArc(from, to graph.NodeID) bool {
 	l := m.adj[from]
 	for i := range l {
 		if l[i].to == to {
-			l[i] = l[len(l)-1]
-			m.adj[from] = l[:len(l)-1]
+			m.adj[from] = append(l[:i], l[i+1:]...)
 			return true
 		}
 	}

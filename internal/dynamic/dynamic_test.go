@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"distkcore/internal/core"
+	"distkcore/internal/dist"
 	"distkcore/internal/exact"
 	"distkcore/internal/graph"
 )
@@ -191,5 +192,75 @@ func TestBAliasesCurrentState(t *testing.T) {
 	}
 	if !diff {
 		t.Fatal("B() did not reflect the update")
+	}
+}
+
+func TestApplyDeltaMatchesScratchAndCanonicalApply(t *testing.T) {
+	g := graph.BarabasiAlbert(60, 3, 21)
+	m := New(g, 5)
+	delta := dist.RandomChurn(g, 80, 22)
+	if err := m.ApplyDelta(delta); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesScratch(t, m, "after delta")
+	// The maintainer must also agree with the engines' canonical
+	// Apply — same β on the same mutated edge multiset (the E19 oracle
+	// contract).
+	g2, err := delta.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Run(g2, core.Options{Rounds: 5})
+	for v := 0; v < g.N(); v++ {
+		if math.Abs(m.B()[v]-want.B[v]) > 1e-9 {
+			t.Fatalf("node %d: maintainer %v, canonical-apply scratch %v", v, m.B()[v], want.B[v])
+		}
+	}
+}
+
+func TestApplyDeltaErrors(t *testing.T) {
+	g := graph.BarabasiAlbert(20, 2, 1)
+	for name, d := range map[string]dist.GraphDelta{
+		"missing delete": {Ops: []dist.EdgeOp{{Del: true, U: 0, V: 0}}},
+		"out of range":   {Ops: []dist.EdgeOp{{U: 0, V: 99, W: 1}}},
+		"bad weight":     {Ops: []dist.EdgeOp{{U: 0, V: 1, W: math.Inf(1)}}},
+	} {
+		m := New(g, 4)
+		if err := m.ApplyDelta(d); err == nil {
+			t.Errorf("%s: ApplyDelta accepted an invalid delta", name)
+		}
+	}
+}
+
+func TestDeleteMatchesCanonicalApplyOnWeightedParallelEdges(t *testing.T) {
+	// Parallel {0,1} copies with different weights, plus a {0,2} whose
+	// deletion would scramble adj[0] under a swap-remove: the maintainer
+	// must keep deleting the SAME copy the canonical GraphDelta.Apply
+	// deletes (the lowest-index one), or its edge multiset forks from the
+	// engines'.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 2, 7).AddEdge(0, 1, 5).AddEdge(0, 1, 1).AddEdge(1, 3, 2)
+	g := b.Build()
+	delta := dist.GraphDelta{Ops: []dist.EdgeOp{
+		{Del: true, U: 0, V: 2}, // reorders adj[0] under swap-removal
+		{Del: true, U: 1, V: 0}, // must remove the w=5 copy, not w=1
+	}}
+	m := New(g, 4)
+	if err := m.ApplyDelta(delta); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := delta.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Run(g2, core.Options{Rounds: 4})
+	for v := 0; v < g.N(); v++ {
+		if math.Abs(m.B()[v]-want.B[v]) > 1e-12 {
+			t.Fatalf("node %d: maintainer %v, canonical %v — wrong parallel copy deleted", v, m.B()[v], want.B[v])
+		}
+	}
+	// The surviving {0,1} copy must be the w=1 one: total weight tells.
+	if got, wantW := m.Graph().TotalWeight(), g2.TotalWeight(); got != wantW {
+		t.Fatalf("maintainer total weight %v, canonical %v", got, wantW)
 	}
 }

@@ -1,0 +1,26 @@
+// Package exact provides the centralized ground-truth algorithms against
+// which every distributed approximation in this repository is evaluated.
+// Nothing here is distributed or approximate; the experiments (E2, E4, E7,
+// E8, E9) and the property tests hold the protocol outputs to the values
+// these solvers produce.
+//
+//   - Coreness: the Batagelj–Zaversnik bucket algorithm for unit weights
+//     (O(n+m)) and a heap-based peeling for weighted coreness
+//     (CoresUnweighted, CoresWeighted) — the c(v) side of Theorem I.1's
+//     sandwich r(v) ≤ c(v) ≤ β_T(v).
+//   - Densest subsets: Dinic max-flow plus a Goldberg-style binary search
+//     in its "edge node" form, returning the *maximal* densest subset
+//     (Fact II.1: it is unique and contains every densest subset), and a
+//     push–relabel alternative cross-checking it (Densest, MaxDensity).
+//   - The diminishingly-dense decomposition of Definition II.3 and the
+//     maximal densities r(v) it induces (LocallyDense) — the r(v) side of
+//     the sandwich.
+//   - Min-max orientation: the exact optimum for unit-weight graphs, where
+//     the problem is polynomial via flow (ExactOrientationUnit), and the
+//     LP lower bound ρ* for the weighted case.
+//
+// Everything in the package is deterministic and single-threaded; costs
+// are super-linear in places (the densest binary search runs O(log) flow
+// computations), which is fine for ground truth at experiment scale and is
+// exactly the cost the O(log n)-round distributed algorithms avoid.
+package exact

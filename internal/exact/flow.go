@@ -1,15 +1,3 @@
-// Package exact provides centralized ground-truth algorithms against which
-// the distributed approximations are evaluated:
-//
-//   - Batagelj–Zaversnik O(m) core decomposition (unweighted) and a
-//     heap-based peeling for weighted coreness,
-//   - Dinic max-flow and a Goldberg-style exact densest-subset solver that
-//     also returns the *maximal* densest subset (Fact II.1),
-//   - the full diminishingly-dense decomposition of Definition II.3 and the
-//     resulting maximal densities r(v),
-//   - the exact min-max orientation value for unit-weight graphs (where the
-//     problem is polynomial), and the LP lower bound ρ* for the weighted
-//     case.
 package exact
 
 import "math"

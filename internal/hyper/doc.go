@@ -1,0 +1,25 @@
+// Package hyper generalizes the elimination machinery to weighted
+// hypergraphs. The paper's key analysis (Lemma III.3) is adapted from Hu,
+// Wu and Chan's work on densest subsets in evolving *hypergraphs*, and the
+// locally-dense decomposition it relies on powers the hypergraph Laplacian
+// application the paper cites [7] — so the generalization is the natural
+// habitat of the proof:
+//
+//   - a hyperedge e (a set of ≥ 1 nodes) has weight w(e);
+//   - deg(v) = Σ_{e ∋ v} w(e); ρ(S) = w({e : e ⊆ S}) / |S|;
+//   - in the elimination with threshold b, a hyperedge supports v only
+//     while *all* of its other endpoints survive, so the compact recursion
+//     becomes  β'(v) = max{ x : Σ_{e ∋ v : min_{u ∈ e∖v} β(u) ≥ x} w(e) ≥ x },
+//     the same Update operator fed with per-edge minima;
+//   - for rank-r hypergraphs (|e| ≤ r) the counting argument gives
+//     β_T(v) ≤ r·n^{1/T}·ρ* instead of the graph case's 2·n^{1/T}.
+//
+// The package is centralized (experiment E16 is its consumer):
+// Hypergraph.SurvivingNumbers iterates the recursion above for T rounds,
+// Hypergraph.Densest peels an exact hypergraph densest subset for the
+// ratio check, and the rank-2 case collapses to internal/core's graph
+// elimination — asserted by E16, which runs both on the same inputs. A
+// distributed port would slot into internal/dist exactly like the graph
+// protocols do (per-edge minima are one extra aggregation round); nothing
+// here assumes global state beyond what a t-hop ball provides.
+package hyper

@@ -1,18 +1,3 @@
-// Package hyper generalizes the elimination machinery to weighted
-// hypergraphs. The paper's key analysis (Lemma III.3) is adapted from Hu,
-// Wu and Chan's work on densest subsets in evolving *hypergraphs*, and the
-// locally-dense decomposition it relies on powers the hypergraph Laplacian
-// application the paper cites [7] — so the generalization is the natural
-// habitat of the proof:
-//
-//   - a hyperedge e (a set of ≥ 1 nodes) has weight w(e);
-//   - deg(v) = Σ_{e ∋ v} w(e); ρ(S) = w({e : e ⊆ S}) / |S|;
-//   - in the elimination with threshold b, a hyperedge supports v only
-//     while *all* of its other endpoints survive, so the compact recursion
-//     becomes  β'(v) = max{ x : Σ_{e ∋ v : min_{u ∈ e∖v} β(u) ≥ x} w(e) ≥ x },
-//     the same Update operator fed with per-edge minima;
-//   - for rank-r hypergraphs (|e| ≤ r) the counting argument gives
-//     β_T(v) ≤ r·n^{1/T}·ρ* instead of the graph case's 2·n^{1/T}.
 package hyper
 
 import (

@@ -24,6 +24,7 @@ const (
 	recMetrics = byte(8)  // worker→coordinator: uvarint messages, words, wireBytes
 	recValues  = byte(9)  // worker→coordinator: uvarint count, then (uvarint node, 8-byte bits)*
 	recError   = byte(10) // either direction: UTF-8 message; aborts the run
+	recDelta   = byte(11) // coordinator→worker: shard.AppendDelta churn batch (follows a hello with DeltaDigest ≠ 0)
 )
 
 // Conn wraps one coordinator↔worker connection with buffered record IO.

@@ -27,6 +27,14 @@ type Spec struct {
 	PartName   string // partitioner name for Partition(g, P); empty in-process
 	ProtoSpec  string // e.g. "coreness:23"; empty in-process
 	WantValues bool   // collect per-node result values after the metrics records
+	// Delta, when non-empty, is the churn batch of the run (DESIGN.md §9):
+	// the coordinator ships it to every worker right after the hello, each
+	// worker applies it to its pre-churn graph and rebalances its stale
+	// assignment under MoveBudget (≤ 0 means the whole frontier may move).
+	// GraphHash and PartDigest must then pin the post-churn graph and the
+	// rebalanced assignment — the run executes on those.
+	Delta      dist.GraphDelta
+	MoveBudget int
 }
 
 // NodeValue is one node's result value as shipped by a worker — the exact
@@ -174,24 +182,34 @@ func (c *coordinator) next() (inRec, error) {
 func (c *coordinator) run() (dist.Metrics, error) {
 	p := len(c.conns)
 	kind, lamL, lamName := lambdaFields(c.spec.Lam)
+	var deltaRec []byte
+	if len(c.spec.Delta.Ops) > 0 {
+		deltaRec = shard.AppendDelta(nil, c.spec.MoveBudget, c.spec.Delta)
+	}
 	for i, cn := range c.conns {
 		h := codec.Hello{
-			Version:    codec.HandshakeVersion,
-			P:          p,
-			Shard:      i,
-			MaxRounds:  c.spec.MaxRounds,
-			GraphHash:  c.spec.GraphHash,
-			PartDigest: c.spec.PartDigest,
-			LamKind:    kind,
-			LamL:       lamL,
-			LamName:    lamName,
-			GraphSpec:  c.spec.GraphSpec,
-			PartName:   c.spec.PartName,
-			ProtoSpec:  c.spec.ProtoSpec,
-			WantValues: c.spec.WantValues,
+			Version:     codec.HandshakeVersion,
+			P:           p,
+			Shard:       i,
+			MaxRounds:   c.spec.MaxRounds,
+			GraphHash:   c.spec.GraphHash,
+			PartDigest:  c.spec.PartDigest,
+			DeltaDigest: c.spec.Delta.Digest(),
+			LamKind:     kind,
+			LamL:        lamL,
+			LamName:     lamName,
+			GraphSpec:   c.spec.GraphSpec,
+			PartName:    c.spec.PartName,
+			ProtoSpec:   c.spec.ProtoSpec,
+			WantValues:  c.spec.WantValues,
 		}
 		if err := cn.writeRecord(recHello, codec.AppendHello(nil, h)); err != nil {
 			return dist.Metrics{}, err
+		}
+		if deltaRec != nil {
+			if err := cn.writeRecord(recDelta, deltaRec); err != nil {
+				return dist.Metrics{}, err
+			}
 		}
 		if err := cn.flush(); err != nil {
 			return dist.Metrics{}, err

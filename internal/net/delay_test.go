@@ -1,0 +1,74 @@
+package net
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"distkcore/internal/core"
+	"distkcore/internal/dist"
+	"distkcore/internal/graph"
+	"distkcore/internal/shard"
+)
+
+// The DelayModel adapter must be a pure function of (model, frame
+// coordinates): same seed same sleep, different seed different jitter —
+// that is what makes an injected-latency run reproducible.
+func TestModelDelayDeterministic(t *testing.T) {
+	d := dist.DelayModel{Base: 1, Jitter: 3, Seed: 42}
+	for src := 0; src < 3; src++ {
+		for dst := 0; dst < 3; dst++ {
+			for round := 0; round < 5; round++ {
+				a := modelDelay(d, time.Millisecond, src, dst, round)
+				b := modelDelay(d, time.Millisecond, src, dst, round)
+				if a != b {
+					t.Fatalf("(%d,%d,%d): %v then %v from the same model", src, dst, round, a, b)
+				}
+				if min, max := time.Duration(1e6), time.Duration(4e6); a < min || a > max {
+					t.Fatalf("(%d,%d,%d): delay %v outside [Base, Base+Jitter)·unit", src, dst, round, a)
+				}
+			}
+		}
+	}
+	other := modelDelay(dist.DelayModel{Base: 1, Jitter: 3, Seed: 43}, time.Millisecond, 0, 1, 2)
+	if other == modelDelay(d, time.Millisecond, 0, 1, 2) {
+		t.Fatal("different seeds produced identical jitter")
+	}
+	// Jitter = 0 collapses to the deterministic base delay.
+	if got := modelDelay(dist.DelayModel{Base: 2}, time.Microsecond, 1, 0, 7); got != 2*time.Microsecond {
+		t.Fatalf("jitterless delay = %v, want 2µs", got)
+	}
+}
+
+// Latency injection through the real transport: a cluster run under a
+// seeded DelayModel must take measurably longer than the model's floor
+// implies — the sleeps really happen on the wire path — while staying
+// byte-identical to the undelayed sequential execution (the barrier makes
+// timing invisible to the protocol).
+func TestModelDelayInjectsLatencyWithoutPerturbing(t *testing.T) {
+	g := graph.BarabasiAlbert(120, 3, 8)
+	T := core.TForEpsilon(g.N(), 0.5)
+	opt := core.Options{Rounds: T}
+	ref, refMet := core.RunDistributed(g, opt, dist.SeqEngine{})
+
+	eng := NewEngine(2, shard.Greedy{})
+	unit := 500 * time.Microsecond
+	eng.Delay = ModelDelay(dist.DelayModel{Base: 1, Jitter: 2, Seed: 5}, unit)
+	start := time.Now()
+	res, met := core.RunDistributed(g, opt, eng)
+	elapsed := time.Since(start)
+
+	if met != refMet {
+		t.Fatalf("delayed run perturbed metrics: %+v vs %+v", met, refMet)
+	}
+	if !reflect.DeepEqual(res.B, ref.B) {
+		t.Fatal("delayed run perturbed the surviving numbers")
+	}
+	// Every round with cross traffic sleeps ≥ Base·unit in each direction's
+	// worker; T rounds of the elimination all carry traffic on this graph,
+	// so the floor is roughly T sleeps — demand half of it to stay robust
+	// against scheduling overlap between the two workers.
+	if floor := time.Duration(T) * unit / 2; elapsed < floor {
+		t.Fatalf("run took %v, below the injected-latency floor %v — the model never slept", elapsed, floor)
+	}
+}

@@ -41,4 +41,15 @@
 // What the cluster adds on top of dist.Metrics is the same placement
 // ledger the sharded engine reports: a shard.ShardMetrics with the frame
 // traffic that actually crossed worker boundaries (Engine.ClusterMetrics).
+//
+// The cluster also absorbs edge churn without re-sharding (DESIGN.md §9):
+// Engine.Churn installs a dist.GraphDelta that the next run ships to every
+// worker as a delta record, digest-pinned in the handshake next to the
+// post-churn graph fingerprint and the incrementally rebalanced partition
+// digest; workers apply the batch under the canonical order and rerun the
+// partitioner's Rebalance locally, so a churned execution stays
+// byte-identical to a fresh SeqEngine run on the mutated graph.
+// Engine.ChurnMetrics reports the churn ledger. ModelDelay bridges the
+// asynchronous simulator's DelayModel onto the per-frame DelayFunc seam
+// for latency-injected (but byte-identical) cluster runs.
 package net

@@ -45,6 +45,16 @@ type Engine struct {
 	// sm is the last run's cluster ledger, shared across WithWireLambda
 	// copies exactly like the sharded engine's.
 	sm *shard.ShardMetrics
+	// churn is the installed delta batch (empty when none) and cm its
+	// ledger, both shared across WithWireLambda copies.
+	churn *netChurn
+	cm    *shard.ChurnMetrics
+}
+
+// netChurn is an installed delta batch awaiting absorption by Run.
+type netChurn struct {
+	delta  dist.GraphDelta
+	budget int
 }
 
 // NewEngine returns a socket-cluster engine with p workers placed by part
@@ -57,8 +67,27 @@ func NewEngine(p int, part shard.Partitioner) *Engine {
 	if part == nil {
 		part = shard.Hash{}
 	}
-	return &Engine{Transport: TransportPipe, p: p, part: part, sm: &shard.ShardMetrics{}}
+	return &Engine{Transport: TransportPipe, p: p, part: part,
+		sm: &shard.ShardMetrics{}, churn: &netChurn{}, cm: &shard.ChurnMetrics{}}
 }
+
+// Churn installs a delta batch every subsequent Run absorbs over the wire
+// (DESIGN.md §9): the coordinator ships the batch to all P workers in a
+// delta record, each worker applies it to the pre-churn graph Run was
+// handed and reruns the incremental Rebalance (at most moveBudget frontier
+// nodes move; ≤ 0 means the whole frontier), and the handshake pins the
+// post-churn graph fingerprint, the rebalanced partition digest and the
+// delta digest — so a churned cluster run is byte-identical to a fresh
+// SeqEngine run on the mutated graph. An empty delta clears the
+// installation.
+func (e *Engine) Churn(d dist.GraphDelta, moveBudget int) {
+	e.churn.delta = d
+	e.churn.budget = moveBudget
+}
+
+// ChurnMetrics returns the churn ledger of the most recent Run that
+// absorbed a delta.
+func (e *Engine) ChurnMetrics() shard.ChurnMetrics { return *e.cm }
 
 // P returns the worker count.
 func (e *Engine) P() int { return e.p }
@@ -107,6 +136,27 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 				e.part.Name(), v, s, p))
 		}
 	}
+	// Under churn the coordinator side computes the post-churn inputs to pin
+	// in the handshake; the workers are handed the PRE-churn graph and base
+	// assignment and must arrive at the same results from the delta record —
+	// the full protocol runs even in-process.
+	runG, runAssign := g, assign
+	spec := Spec{
+		P:         p,
+		MaxRounds: maxRounds,
+		Lam:       e.lam,
+	}
+	if len(e.churn.delta.Ops) > 0 {
+		spec.Delta, spec.MoveBudget = e.churn.delta, e.churn.budget
+		g2, next, cm, err := shard.AbsorbDelta(e.part, g, p, assign, spec.Delta, spec.MoveBudget)
+		if err != nil {
+			panic("net: " + err.Error())
+		}
+		*e.cm = cm
+		runG, runAssign = g2, next
+	}
+	spec.GraphHash = runG.Fingerprint()
+	spec.PartDigest = shard.PartitionDigest(runAssign)
 	coord, workers, cleanup, err := dialCluster(e.Transport, p)
 	if err != nil {
 		panic("net: " + err.Error())
@@ -127,19 +177,13 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 					c.SendError(fmt.Errorf("worker panic: %v", r))
 				}
 			}()
-			w := &Worker{c: c, g: g, assign: assign, lam: e.lam, Delay: e.Delay}
+			w := &Worker{c: c, g: g, assign: assign, lam: e.lam, Delay: e.Delay, Part: e.part}
 			if _, err := w.run(g, factory, maxRounds); err != nil {
 				c.SendError(err)
 			}
 		}(workers[s])
 	}
-	met, rep, err := RunCoordinator(coord, Spec{
-		P:          p,
-		MaxRounds:  maxRounds,
-		Lam:        e.lam,
-		GraphHash:  g.Fingerprint(),
-		PartDigest: shard.PartitionDigest(assign),
-	})
+	met, rep, err := RunCoordinator(coord, spec)
 	for _, c := range coord {
 		c.Close()
 	}
@@ -147,7 +191,7 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 	if err != nil {
 		panic("net: " + err.Error())
 	}
-	rep.Sharding.EdgeCutFraction = shard.CutFraction(g, assign)
+	rep.Sharding.EdgeCutFraction = shard.CutFraction(runG, runAssign)
 	*e.sm = rep.Sharding
 	return met
 }

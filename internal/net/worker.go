@@ -42,17 +42,35 @@ type Worker struct {
 	Hello *codec.Hello
 	// Delay, when non-nil, runs before each outgoing frame write.
 	Delay DelayFunc
+	// Part is the partitioner that produced the worker's assignment. It is
+	// only consulted when the hello announces a churn batch (DeltaDigest ≠
+	// 0): the worker must rerun the identical incremental Rebalance the
+	// coordinator ran to land on the pinned partition digest. A churn run
+	// without it is a protocol error.
+	Part shard.Partitioner
 
 	c      *Conn
 	g      *graph.Graph
 	assign []int
 	lam    quantize.Lambda
+	st     *workerState
 }
 
 // NewWorker returns a worker endpoint over c for a run on g partitioned by
-// assign. The shard this worker owns arrives in the coordinator's hello.
+// assign. The shard this worker owns arrives in the coordinator's hello;
+// when that hello announces churn, g and assign are the *pre-churn* inputs
+// and the worker mutates and rebalances them itself from the delta record
+// (set Part so it can).
 func NewWorker(c *Conn, g *graph.Graph, assign []int) *Worker {
-	return &Worker{c: c, g: g, assign: assign}
+	return &Worker{c: c, g: g, assign: assign, st: &workerState{}}
+}
+
+// workerState is the slice of worker state that must survive the value
+// copies WithWireLambda hands to protocol drivers: the copy's run records
+// here which assignment the run actually executed on (the rebalanced one
+// under churn), so the caller's SendValues ships the right nodes.
+type workerState struct {
+	assign []int
 }
 
 // WithWireLambda implements dist.Engine; protocol drivers call it with the
@@ -129,26 +147,69 @@ func (w *Worker) run(g *graph.Graph, factory dist.Factory, maxRounds int) (dist.
 		return dist.Metrics{}, fmt.Errorf("net: bad shard index %d of %d", h.Shard, h.P)
 	case len(w.assign) != n:
 		return dist.Metrics{}, fmt.Errorf("net: assignment covers %d nodes, graph has %d", len(w.assign), n)
-	case h.GraphHash != g.Fingerprint():
-		return dist.Metrics{}, fmt.Errorf("net: graph fingerprint mismatch (coordinator %#x, worker %#x)", h.GraphHash, g.Fingerprint())
-	case h.PartDigest != shard.PartitionDigest(w.assign):
-		return dist.Metrics{}, fmt.Errorf("net: partition digest mismatch (coordinator %#x, worker %#x)", h.PartDigest, shard.PartitionDigest(w.assign))
 	case h.MaxRounds != maxRounds:
 		return dist.Metrics{}, fmt.Errorf("net: round budget mismatch (coordinator %d, worker %d)", h.MaxRounds, maxRounds)
 	}
 	if err := lambdaMatches(h, lam); err != nil {
 		return dist.Metrics{}, err
 	}
+	assign := w.assign
+	if h.DeltaDigest != 0 {
+		// Churn run (DESIGN.md §9): the delta record follows the hello.
+		// Apply it to the pre-churn graph and rerun the coordinator's
+		// incremental rebalance; the hello's GraphHash/PartDigest pin the
+		// *results*, so the two digest checks below cover the pre-churn
+		// inputs, the batch itself (DeltaDigest) and the application order
+		// all at once.
+		typ, body, err := w.c.readRecord()
+		if err != nil {
+			return dist.Metrics{}, fmt.Errorf("net: reading delta: %w", err)
+		}
+		if typ == recError {
+			return dist.Metrics{}, fmt.Errorf("net: coordinator aborted: %s", body)
+		}
+		if typ != recDelta {
+			return dist.Metrics{}, fmt.Errorf("net: expected delta record after churn hello, got type %d", typ)
+		}
+		if w.Part == nil {
+			return dist.Metrics{}, fmt.Errorf("net: churn hello but worker has no partitioner for the rebalance")
+		}
+		budget, delta, used, err := shard.DecodeDelta(body)
+		if err != nil {
+			return dist.Metrics{}, err
+		}
+		if used != len(body) {
+			return dist.Metrics{}, fmt.Errorf("net: delta record carries %d trailing bytes", len(body)-used)
+		}
+		if dg := delta.Digest(); dg != h.DeltaDigest {
+			return dist.Metrics{}, fmt.Errorf("net: delta digest mismatch (hello %#x, record %#x)", h.DeltaDigest, dg)
+		}
+		if g, err = delta.Apply(g); err != nil {
+			return dist.Metrics{}, fmt.Errorf("net: applying delta: %w", err)
+		}
+		// Lean rebalance: the churn ledger lives coordinator-side, so the
+		// worker skips the metric cut scans.
+		assign = shard.RebalanceAssign(w.Part, g, h.P, assign, delta, budget)
+	}
+	switch {
+	case h.GraphHash != g.Fingerprint():
+		return dist.Metrics{}, fmt.Errorf("net: graph fingerprint mismatch (coordinator %#x, worker %#x)", h.GraphHash, g.Fingerprint())
+	case h.PartDigest != shard.PartitionDigest(assign):
+		return dist.Metrics{}, fmt.Errorf("net: partition digest mismatch (coordinator %#x, worker %#x)", h.PartDigest, shard.PartitionDigest(assign))
+	}
+	if w.st != nil {
+		w.st.assign = assign
+	}
 
 	var local []graph.NodeID // ascending — the shard's step order
 	for v := 0; v < n; v++ {
-		if w.assign[v] == h.Shard {
+		if assign[v] == h.Shard {
 			local = append(local, v)
 		}
 	}
 	gh := &ghost{pending: make([][]replayMsg, n)}
 	d := dist.NewDriver(g, lam, func(v graph.NodeID) dist.Program {
-		if w.assign[v] == h.Shard {
+		if assign[v] == h.Shard {
 			return factory(v)
 		}
 		return gh
@@ -208,7 +269,7 @@ func (w *Worker) run(g *graph.Graph, factory dist.Factory, maxRounds int) (dist.
 					mMsgs++
 					mWords += int64(m.Words())
 					mWire += int64(dist.WireSize(lam, m))
-					if q := w.assign[to]; q != h.Shard {
+					if q := assign[to]; q != h.Shard {
 						fb := &frames[q]
 						fb.buf = shard.AppendMessage(fb.buf, lam, to, m)
 						fb.count++
@@ -272,10 +333,10 @@ func (w *Worker) run(g *graph.Graph, factory dist.Factory, maxRounds int) (dist.
 				}
 				rest = rest[used:]
 				u := m.From
-				if u < 0 || u >= n || w.assign[u] != fh.Src {
+				if u < 0 || u >= n || assign[u] != fh.Src {
 					return dist.Metrics{}, fmt.Errorf("net: frame %d→%d carries sender %d not owned by shard %d", fh.Src, fh.Dst, u, fh.Src)
 				}
-				if to < 0 || to >= n || w.assign[to] != h.Shard {
+				if to < 0 || to >= n || assign[to] != h.Shard {
 					return dist.Metrics{}, fmt.Errorf("net: frame %d→%d addresses node %d outside shard %d", fh.Src, fh.Dst, to, h.Shard)
 				}
 				if len(gh.pending[u]) == 0 {
@@ -353,15 +414,22 @@ func (w *Worker) SendValues(vals []float64) error {
 	if w.Hello == nil {
 		return fmt.Errorf("net: SendValues before handshake")
 	}
+	// Under churn the run executed on the rebalanced assignment, which the
+	// run recorded in the shared worker state; ship the nodes the run
+	// actually owned, not the stale pre-churn shard.
+	assign := w.assign
+	if w.st != nil && w.st.assign != nil {
+		assign = w.st.assign
+	}
 	cnt := 0
 	for v := range vals {
-		if w.assign[v] == w.Hello.Shard {
+		if assign[v] == w.Hello.Shard {
 			cnt++
 		}
 	}
 	enc := binary.AppendUvarint(nil, uint64(cnt))
 	for v, x := range vals {
-		if w.assign[v] == w.Hello.Shard {
+		if assign[v] == w.Hello.Shard {
 			enc = binary.AppendUvarint(enc, uint64(v))
 			enc = binary.LittleEndian.AppendUint64(enc, math.Float64bits(x))
 		}

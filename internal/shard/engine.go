@@ -29,6 +29,17 @@ type Engine struct {
 	// copies WithWireLambda hands to protocol drivers share the sink and
 	// the caller's handle still observes the run.
 	sm *ShardMetrics
+	// churn is the installed delta batch (nil when none); shared across
+	// WithWireLambda copies like the metric sinks, so a delta installed on
+	// the caller's handle reaches the copy the protocol driver runs.
+	churn *churnState
+	cm    *ChurnMetrics
+}
+
+// churnState is an installed delta batch awaiting absorption by Run.
+type churnState struct {
+	delta  dist.GraphDelta
+	budget int
 }
 
 // NewEngine returns a sharded engine with p shards placed by part
@@ -40,8 +51,26 @@ func NewEngine(p int, part Partitioner) *Engine {
 	if part == nil {
 		part = Hash{}
 	}
-	return &Engine{p: p, part: part, sm: &ShardMetrics{}}
+	return &Engine{p: p, part: part, sm: &ShardMetrics{}, churn: &churnState{}, cm: &ChurnMetrics{}}
 }
+
+// Churn installs a delta batch the engine absorbs at the start of every
+// subsequent Run (DESIGN.md §9): the graph handed to Run is taken as the
+// pre-churn graph, the delta — round-tripped through the wire codec, so
+// the bytes accounted are the bytes applied — mutates it under the
+// canonical application order, and the partitioner's Rebalance moves at
+// most moveBudget frontier nodes (≤ 0 means the whole frontier) off the
+// stale assignment. The run then executes on the mutated graph,
+// byte-identical to a fresh SeqEngine run on it; ChurnMetrics reports what
+// absorbing the batch cost. An empty delta clears the installation.
+func (e *Engine) Churn(d dist.GraphDelta, moveBudget int) {
+	e.churn.delta = d
+	e.churn.budget = moveBudget
+}
+
+// ChurnMetrics returns the churn ledger of the most recent Run that
+// absorbed a delta.
+func (e *Engine) ChurnMetrics() ChurnMetrics { return *e.cm }
 
 // P returns the shard count.
 func (e *Engine) P() int { return e.p }
@@ -78,6 +107,18 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 	if len(assign) != g.N() {
 		panic(fmt.Sprintf("shard: partitioner %s returned %d assignments for %d nodes",
 			e.part.Name(), len(assign), g.N()))
+	}
+	if len(e.churn.delta.Ops) > 0 {
+		// Absorb the installed delta (codec round trip, canonical apply,
+		// incremental rebalance). Like every other engine failure, a delta
+		// that does not apply is a panic — the Engine interface has no
+		// error channel, and running on a forked input would be worse.
+		g2, next, cm, err := AbsorbDelta(e.part, g, p, assign, e.churn.delta, e.churn.budget)
+		if err != nil {
+			panic(err.Error())
+		}
+		*e.cm = cm
+		g, assign = g2, next
 	}
 	shards := make([][]graph.NodeID, p)
 	for v, s := range assign { // ascending v ⇒ ascending IDs within a shard

@@ -7,11 +7,24 @@ import (
 )
 
 // Partitioner assigns every node of a graph to one of p shards.
-// Implementations must be deterministic functions of (g, p): the engine's
-// byte-identity guarantee covers the partition too.
+// Implementations must be deterministic functions of their arguments: the
+// engine's byte-identity guarantee covers the partition too, and under
+// churn the coordinator and every worker run Rebalance independently and
+// must land on the same assignment (pinned by PartitionDigest in the
+// handshake).
 type Partitioner interface {
 	// Partition returns one shard index in [0, p) per node.
 	Partition(g *graph.Graph, p int) []int
+	// Rebalance returns the assignment for the mutated graph g, given the
+	// pre-churn assignment assign and the change frontier (the distinct
+	// endpoints of the delta's ops, ascending — shard.Frontier). At most
+	// moveBudget nodes may change shard (moveBudget ≤ 0 means the whole
+	// frontier may move); implementations must not mutate assign (return
+	// it unchanged when nothing moves). Locality-aware partitioners
+	// re-place only frontier nodes — the placement twin of
+	// internal/dynamic's repair frontier; placement that is a pure function
+	// of the node ID (Hash, Range) never moves anything.
+	Rebalance(g *graph.Graph, p int, assign []int, frontier []graph.NodeID, moveBudget int) []int
 	// Name identifies the partitioner in experiment tables and CLI flags.
 	Name() string
 }
@@ -69,6 +82,12 @@ func (Hash) Partition(g *graph.Graph, p int) []int {
 	return assign
 }
 
+// Rebalance implements Partitioner. Hash placement is a pure function of
+// the node ID, so churn never moves a node.
+func (Hash) Rebalance(_ *graph.Graph, _ int, assign []int, _ []graph.NodeID, _ int) []int {
+	return assign
+}
+
 // splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed integer hash.
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
@@ -95,6 +114,12 @@ func (Range) Partition(g *graph.Graph, p int) []int {
 	return assign
 }
 
+// Rebalance implements Partitioner. Range placement is a pure function of
+// the node ID, so churn never moves a node.
+func (Range) Rebalance(_ *graph.Graph, _ int, assign []int, _ []graph.NodeID, _ int) []int {
+	return assign
+}
+
 // Greedy is the streaming LDG partitioner (Stanton–Kliot): nodes arrive in
 // ID order and each is placed on the shard holding the most of its
 // already-placed neighbors, damped by a capacity penalty so shards stay
@@ -112,17 +137,7 @@ func (Greedy) Name() string { return "greedy" }
 // Partition implements Partitioner.
 func (gr Greedy) Partition(g *graph.Graph, p int) []int {
 	n := g.N()
-	slack := gr.Slack
-	if slack == 0 {
-		slack = 1.1
-	}
-	if slack < 1 {
-		slack = 1
-	}
-	capacity := int(math.Ceil(slack * float64(n) / float64(p)))
-	if capacity < 1 {
-		capacity = 1
-	}
+	capacity := gr.capacity(n, p)
 	assign := make([]int, n)
 	for i := range assign {
 		assign[i] = -1
@@ -164,4 +179,87 @@ func (gr Greedy) Partition(g *graph.Graph, p int) []int {
 		load[best]++
 	}
 	return assign
+}
+
+// Rebalance implements Partitioner: the incremental LDG pass. Only
+// frontier nodes are reconsidered, in ascending ID order, and a node moves
+// only to a shard that co-locates *strictly more* of its neighbors than
+// where it sits (capacity-feasible; ties broken toward the lighter then
+// lower-index shard, and never away from the current one) — so every move
+// removes at least one cut edge at decision time, and a quiet frontier
+// costs nothing. Moves stop when moveBudget is spent. Everything off the
+// frontier stays put: the locality that makes β_t(v) a function of v's
+// t-hop ball is the same locality that makes a placement change worthwhile
+// only where the topology changed.
+//
+// Unlike Partition's streaming score, the rebalance does not damp affinity
+// by load: at churn time every neighbor is already placed, so raw
+// co-location counts are exact, and the capacity bound alone keeps shards
+// balanced.
+func (gr Greedy) Rebalance(g *graph.Graph, p int, assign []int, frontier []graph.NodeID, moveBudget int) []int {
+	if len(frontier) == 0 {
+		return assign
+	}
+	if moveBudget <= 0 {
+		moveBudget = len(frontier)
+	}
+	capacity := gr.capacity(g.N(), p)
+	next := append([]int(nil), assign...)
+	load := make([]int, p)
+	for _, s := range next {
+		load[s]++
+	}
+	placed := make([]int, p)
+	moved := 0
+	for _, v := range frontier {
+		if moved >= moveBudget {
+			break
+		}
+		for i := range placed {
+			placed[i] = 0
+		}
+		for _, a := range g.Adj(v) {
+			if a.To != v {
+				placed[next[a.To]]++
+			}
+		}
+		cur := next[v]
+		best := cur
+		for s := 0; s < p; s++ {
+			if s == cur || load[s] >= capacity {
+				continue
+			}
+			if placed[s] > placed[best] ||
+				(placed[s] == placed[best] && best != cur &&
+					(load[s] < load[best] || (load[s] == load[best] && s < best))) {
+				best = s
+			}
+		}
+		if best != cur && placed[best] > placed[cur] {
+			next[v] = best
+			load[cur]--
+			load[best]++
+			moved++
+		}
+	}
+	return next
+}
+
+// capacity is the per-shard node cap both the streaming pass and the
+// incremental rebalance enforce. One definition on purpose: the
+// coordinator and every worker rerun Rebalance independently, so the two
+// sites desynchronizing on slack handling would fork the partition digest.
+func (gr Greedy) capacity(n, p int) int {
+	slack := gr.Slack
+	if slack == 0 {
+		slack = 1.1
+	}
+	if slack < 1 {
+		slack = 1
+	}
+	capacity := int(math.Ceil(slack * float64(n) / float64(p)))
+	if capacity < 1 {
+		capacity = 1
+	}
+	return capacity
 }
