@@ -238,3 +238,49 @@ func TestChurnAPI(t *testing.T) {
 		}
 	}
 }
+
+func TestSessionAPI(t *testing.T) {
+	g := graph.BarabasiAlbert(250, 3, 29)
+	T := distkcore.RoundsFor(g.N(), 0.5)
+	s, err := distkcore.OpenSession(g, distkcore.SessionOptions{P: 4, Rounds: T})
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	defer s.Close()
+
+	sub := s.Subscribe(distkcore.TopKTopic(10), distkcore.ThresholdTopic(3))
+	cur := g
+	chain := s.ChainDigest()
+	for e := 1; e <= 2; e++ {
+		d := distkcore.RandomChurn(cur, 50, int64(e))
+		rep, err := s.Push(d, 0)
+		if err != nil {
+			t.Fatalf("epoch %d push: %v", e, err)
+		}
+		if cur, err = d.Apply(cur); err != nil {
+			t.Fatal(err)
+		}
+		ref, _ := distkcore.RunDistributedOn(cur, T, distkcore.SequentialEngine())
+		got := s.Values()
+		for v := range ref.B {
+			if got[v] != ref.B[v] {
+				t.Fatalf("epoch %d: session β(%d) diverges from a fresh run", e, v)
+			}
+		}
+		if rep.Epoch != e || rep.ChainDigest == chain {
+			t.Fatalf("epoch %d: report %+v (chain unchanged?)", e, rep)
+		}
+		chain = rep.ChainDigest
+		for _, nf := range rep.Notifications {
+			if nf.Sub != sub || nf.Epoch != e {
+				t.Fatalf("epoch %d: stray notification %+v", e, nf)
+			}
+		}
+	}
+	if led, ok := s.Ledger(sub); !ok || led.Topics != 2 {
+		t.Fatalf("ledger %+v", led)
+	}
+	if tp, err := distkcore.ParseTopic("coreness:17"); err != nil || tp != distkcore.CorenessTopic(17) {
+		t.Fatalf("ParseTopic: %v %v", tp, err)
+	}
+}

@@ -1,22 +1,24 @@
 // Command bench runs the substrate and engine benchmarks that track the
 // ROADMAP performance trajectory and writes the results as JSON. CI runs it
-// on every push and uploads the file as an artifact (BENCH_PR5.json), so the
+// on every push and uploads the file as an artifact (BENCH_PR6.json), so the
 // repo accumulates comparable data points over time.
 //
 // Usage:
 //
-//	go run ./cmd/bench -out BENCH_PR5.json -label post-churn
-//	go run ./cmd/bench -against baseline.json -out BENCH_PR5.json
+//	go run ./cmd/bench -out BENCH_PR6.json -label post-sessions
+//	go run ./cmd/bench -against baseline.json -out BENCH_PR6.json
 //
 // The benchmark set mirrors BenchmarkEngines (all four execution engines on
 // the same BarabasiAlbert coreness run — the net rows measure the wire
 // protocol over in-memory pipes and over real unix sockets), the substrate
 // micro-benchmarks (graph build, delivery loop) that the CSR/arena refactor
-// targets, and the churn rows: what one churn event costs as a fresh
+// targets, the churn rows — what one churn event costs as a fresh
 // recompute, as an incremental dynamic.Maintainer repair, and as a churned
-// (delta + rebalance) sharded cluster run. With -against, a previous report
-// is embedded as "baseline" and per-benchmark speedups are printed and
-// recorded.
+// (delta + rebalance) sharded cluster run — and the session row: one
+// steady-state delta epoch through a hot 4-worker session (connections,
+// partitions and oracles all warm), the PR 6 path that replaces the PR 5
+// churn-then-rerun cycle. With -against, a previous report is embedded as
+// "baseline" and per-benchmark speedups are printed and recorded.
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"distkcore/internal/dynamic"
 	"distkcore/internal/graph"
 	dnet "distkcore/internal/net"
+	"distkcore/internal/session"
 	"distkcore/internal/shard"
 )
 
@@ -80,7 +83,7 @@ func (f *flood) Round(c *dist.Ctx, inbox []dist.Message) {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR5.json", "output JSON path ('-' for stdout)")
+		out     = flag.String("out", "BENCH_PR6.json", "output JSON path ('-' for stdout)")
 		label   = flag.String("label", "current", "label recorded in the report")
 		n       = flag.Int("n", 10_000, "BarabasiAlbert node count for the engine workload")
 		against = flag.String("against", "", "previous report to embed as baseline")
@@ -174,6 +177,40 @@ func main() {
 			core.RunDistributed(g, core.Options{Rounds: T}, eng)
 		}
 	})
+
+	// Session steady state (PR 6): one delta epoch through a hot 4-worker
+	// session — the cluster is opened once outside the timer; each
+	// iteration streams a batch to the live workers, which repair
+	// incrementally and re-seal the digest chain. Two batch sizes bracket
+	// the story against churn/rebalanced-cluster (absorb + full re-run per
+	// batch): at 32 ops — the steady drip sessions exist for — the epoch
+	// is far cheaper than any full run; at 512 ops the P redundant oracles
+	// each replay 512 sequential repairs and the full run wins, which is
+	// the honest crossover (big rare batches belong on the PR 5 path).
+	sess, err := session.Open(g, session.Options{P: 4, Rounds: T, Part: shard.Greedy{}})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	defer sess.Close()
+	cur, epoch := g, 0
+	for _, ops := range []int{32, 512} {
+		ops := ops
+		rep.add(fmt.Sprintf("session/epoch-%dops", ops), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				epoch++
+				d := dist.RandomChurn(cur, ops, int64(epoch))
+				if _, err := sess.Push(d, 0); err != nil {
+					fmt.Fprintln(os.Stderr, "bench: session push:", err)
+					os.Exit(1)
+				}
+				if cur, err = d.Apply(cur); err != nil {
+					fmt.Fprintln(os.Stderr, "bench:", err)
+					os.Exit(1)
+				}
+			}
+		})
+	}
 
 	if *against != "" {
 		raw, err := os.ReadFile(*against)

@@ -50,6 +50,7 @@ import (
 	"distkcore/internal/dist"
 	dnet "distkcore/internal/net"
 	"distkcore/internal/quantize"
+	"distkcore/internal/session"
 	"distkcore/internal/shard"
 )
 
@@ -62,6 +63,12 @@ func main() {
 		runWorker(os.Args[2:])
 	case "coord":
 		runCoord(os.Args[2:])
+	case "serve":
+		runServe(os.Args[2:])
+	case "push":
+		runPush(os.Args[2:])
+	case "sub":
+		runSub(os.Args[2:])
 	default:
 		usage()
 	}
@@ -69,8 +76,11 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  cluster worker -listen unix:/path.sock|tcp:host:port
-  cluster coord  (-workers addr,addr,... | -spawn P) -gen ba -n 10000 [-seed S] [-eps E | -T T] [-lambda L] [-part NAME] [-churn OPS[:SEED] [-budget M]] [-verify] [-json FILE]`)
+  cluster worker -listen unix:/path.sock|tcp:host:port [-session]
+  cluster coord  (-workers addr,addr,... | -spawn P) -gen ba -n 10000 [-seed S] [-eps E | -T T] [-lambda L] [-part NAME] [-churn OPS[:SEED] [-budget M]] [-verify] [-json FILE]
+  cluster serve  (-workers addr,addr,... | -spawn P) -control unix:/path.sock -gen ba -n 10000 [-seed S] [-eps E | -T T] [-part NAME]
+  cluster push   -connect unix:/path.sock -gen ba -n 10000 [-seed S] [-eps E | -T T] -epochs E [-ops N] [-churnseed S] [-budget M] [-verify] [-shutdown]
+  cluster sub    -connect unix:/path.sock -topics coreness:5,topk:3 [-count N]`)
 	os.Exit(2)
 }
 
@@ -93,6 +103,7 @@ func splitAddr(s string) (network, addr string, err error) {
 func runWorker(args []string) {
 	fs := flag.NewFlagSet("cluster worker", flag.ExitOnError)
 	listen := fs.String("listen", "unix:/tmp/dkc-worker.sock", "address to await the coordinator on")
+	sess := fs.Bool("session", false, "stay alive after the run and serve session epochs (DESIGN.md §10)")
 	fs.Parse(args)
 
 	network, addr, err := splitAddr(*listen)
@@ -159,6 +170,27 @@ func runWorker(args []string) {
 	}
 	fmt.Printf("cluster worker: shard %d/%d done: %d nodes, local share %d msgs / %d wire bytes, %d rounds\n",
 		h.Shard, h.P, g.N(), met.Messages, met.WireBytes, met.Rounds)
+	if !*sess {
+		return
+	}
+	// Session epochs: the run seeded this worker's state; keep the
+	// connection and serve DeltaPush/stamp exchanges until the coordinator
+	// says goodbye. Sessions require an unchurned Λ = ℝ run to open on.
+	if h.DeltaDigest != 0 {
+		fatalTell(c, fmt.Errorf("sessions open on an unchurned run; churn streams in afterwards"))
+	}
+	if _, ok := lam.(quantize.Reals); !ok {
+		fatalTell(c, fmt.Errorf("sessions require the exact threshold set Λ = ℝ"))
+	}
+	ws, err := session.NewWorkerState(c, g, assign, h.Shard, h.P, T, part, res.B)
+	if err != nil {
+		fatalTell(c, err)
+	}
+	if err := ws.ServeEpochs(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cluster worker: shard %d/%d session closed after epoch %d (chain %#x)\n",
+		h.Shard, h.P, ws.Epoch(), ws.ChainDigest())
 }
 
 // parseProto resolves the handshake's protocol spec. Only the coreness

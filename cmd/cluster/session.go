@@ -1,0 +1,347 @@
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"distkcore/internal/cliutil"
+	"distkcore/internal/codec"
+	"distkcore/internal/core"
+	"distkcore/internal/dist"
+	dnet "distkcore/internal/net"
+	"distkcore/internal/session"
+	"distkcore/internal/shard"
+)
+
+// runServe opens a long-lived session (DESIGN.md §10): run epoch 0 over P
+// session workers, keep the connections hot, and expose the epoch protocol
+// to push/sub clients on a control socket. Sessions always run Λ = ℝ.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("cluster serve", flag.ExitOnError)
+	var (
+		workers = fs.String("workers", "", "comma-separated worker addresses (workers must run with -session)")
+		spawn   = fs.Int("spawn", 0, "spawn P session-worker subprocesses over unix sockets instead of dialing -workers")
+		gen     = fs.String("gen", "ba", "graph generator (ba, er, rmat, grid, caveman, planted)")
+		n       = fs.Int("n", 10000, "node count")
+		seed    = fs.Int64("seed", 7, "generator seed")
+		eps     = fs.Float64("eps", 0.5, "approximation parameter (sets T = ceil(log_{1+eps} n))")
+		tFlag   = fs.Int("T", 0, "explicit round budget (overrides -eps)")
+		partN   = fs.String("part", "greedy", "partitioner: hash, range or greedy")
+		control = fs.String("control", "unix:/tmp/dkc-session.sock", "control address push/sub clients connect to")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-operation IO deadline on worker connections (0 = none)")
+	)
+	fs.Parse(args)
+
+	spec := cliutil.GraphSpec(*gen, *n, *seed)
+	g, err := cliutil.LoadGraphSpec(spec)
+	if err != nil {
+		fatal(err)
+	}
+	part, err := cliutil.ParsePartitioner(*partN)
+	if err != nil {
+		fatal(err)
+	}
+	T := *tFlag
+	if T <= 0 {
+		T = core.TForEpsilon(g.N(), *eps)
+	}
+
+	var (
+		procs []*exec.Cmd
+		dir   string
+	)
+	runErr := func() error {
+		var addrs []string
+		switch {
+		case *spawn > 0:
+			var err error
+			if dir, err = os.MkdirTemp("", "dkc-session-"); err != nil {
+				return err
+			}
+			exe, err := os.Executable()
+			if err != nil {
+				return err
+			}
+			for i := 0; i < *spawn; i++ {
+				a := fmt.Sprintf("unix:%s", filepath.Join(dir, fmt.Sprintf("w%d.sock", i)))
+				cmd := exec.Command(exe, "worker", "-listen", a, "-session")
+				cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+				if err := cmd.Start(); err != nil {
+					return err
+				}
+				procs = append(procs, cmd)
+				addrs = append(addrs, a)
+			}
+		case *workers != "":
+			addrs = strings.Split(*workers, ",")
+		default:
+			return fmt.Errorf("need -workers or -spawn")
+		}
+		p := len(addrs)
+		assign := part.Partition(g, p)
+
+		conns := make([]*dnet.Conn, p)
+		for i, a := range addrs {
+			network, addr, err := splitAddr(a)
+			if err != nil {
+				return err
+			}
+			nc, err := dialRetry(network, addr, 5*time.Second)
+			if err != nil {
+				return fmt.Errorf("worker %d at %s: %w", i, a, err)
+			}
+			conns[i] = dnet.NewConn(nc)
+			defer conns[i].Close()
+			if *timeout > 0 {
+				conns[i].SetIOTimeout(*timeout)
+			}
+		}
+
+		// Epoch 0: one full coordinated run over a hub that outlives it.
+		hub := dnet.NewHub(conns)
+		defer hub.Close()
+		start := time.Now()
+		met, rep, err := hub.Run(dnet.Spec{
+			P:          p,
+			MaxRounds:  T,
+			GraphHash:  g.Fingerprint(),
+			PartDigest: shard.PartitionDigest(assign),
+			GraphSpec:  spec,
+			PartName:   part.Name(),
+			ProtoSpec:  fmt.Sprintf("coreness:%d", T),
+			WantValues: true,
+			IOTimeout:  *timeout,
+		})
+		if err != nil {
+			return err
+		}
+		b, err := rep.Assemble(g.N())
+		if err != nil {
+			return err
+		}
+		co, err := session.NewCoordinator(hub, g, assign, part, b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cluster serve: epoch 0 sealed in %v (%s over %d workers, T=%d, rounds=%d, chain %#x)\n",
+			time.Since(start).Round(time.Millisecond), spec, p, T, met.Rounds, co.ChainDigest())
+
+		network, addr, err := splitAddr(*control)
+		if err != nil {
+			return err
+		}
+		if network == "unix" {
+			os.Remove(addr)
+		}
+		ln, err := net.Listen(network, addr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Printf("cluster serve: control listening on %s\n", *control)
+		serveErr := session.Serve(co, ln, func(f string, a ...any) { fmt.Printf(f+"\n", a...) })
+
+		// Clean goodbye to the workers (best-effort even when serveErr is a
+		// broken session — the error record already went out then).
+		co.Bye()
+		for _, c := range conns {
+			c.Close()
+		}
+		for _, cmd := range procs {
+			if err := cmd.Wait(); err != nil && serveErr == nil {
+				serveErr = fmt.Errorf("worker process: %w", err)
+			}
+		}
+		procs = nil
+		return serveErr
+	}()
+	for _, cmd := range procs {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+	if dir != "" {
+		os.RemoveAll(dir)
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+	fmt.Println("cluster serve: session closed")
+}
+
+// runPush streams delta epochs into a running session server. Each epoch's
+// batch is dist.RandomChurn over the client's cumulatively mutated local
+// copy of the graph — a pure function of (graph, ops, seed), so -verify can
+// demand the receipt's digests match a fresh local sequential run.
+func runPush(args []string) {
+	fs := flag.NewFlagSet("cluster push", flag.ExitOnError)
+	var (
+		connect   = fs.String("connect", "unix:/tmp/dkc-session.sock", "session server control address")
+		gen       = fs.String("gen", "ba", "graph generator of the served graph")
+		n         = fs.Int("n", 10000, "node count of the served graph")
+		seed      = fs.Int64("seed", 7, "generator seed of the served graph")
+		eps       = fs.Float64("eps", 0.5, "approximation parameter (must match serve)")
+		tFlag     = fs.Int("T", 0, "explicit round budget (must match serve)")
+		epochs    = fs.Int("epochs", 1, "number of delta epochs to push")
+		ops       = fs.Int("ops", 100, "mutations per epoch")
+		churnSeed = fs.Int64("churnseed", 1, "base churn seed (epoch e uses churnseed+e)")
+		budget    = fs.Int("budget", 0, "rebalance move budget (0 = whole frontier)")
+		verify    = fs.Bool("verify", false, "verify each receipt against a fresh local sequential run on the mutated graph")
+		shutdown  = fs.Bool("shutdown", false, "ask the server to stop after the last epoch")
+	)
+	fs.Parse(args)
+
+	g, err := cliutil.LoadGraphSpec(cliutil.GraphSpec(*gen, *n, *seed))
+	if err != nil {
+		fatal(err)
+	}
+	T := *tFlag
+	if T <= 0 {
+		T = core.TForEpsilon(g.N(), *eps)
+	}
+	network, addr, err := splitAddr(*connect)
+	if err != nil {
+		fatal(err)
+	}
+	nc, err := dialRetry(network, addr, 10*time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	c := dnet.NewConn(nc)
+	defer c.Close()
+
+	cur := g
+	var prevChain uint64
+	havePrev := false
+	for e := 1; e <= *epochs; e++ {
+		d := dist.RandomChurn(cur, *ops, *churnSeed+int64(e))
+		if err := c.WriteRecord(dnet.RecDeltaPush, session.AppendDeltaPush(nil, 0, *budget, d)); err != nil {
+			fatal(err)
+		}
+		if err := c.Flush(); err != nil {
+			fatal(err)
+		}
+		typ, body, err := c.AwaitRecord()
+		if err != nil {
+			fatal(fmt.Errorf("awaiting receipt: %w", err))
+		}
+		if typ == dnet.RecError {
+			fatal(fmt.Errorf("server: %s", body))
+		}
+		if typ != dnet.RecValuesDigest {
+			fatal(fmt.Errorf("expected stamp receipt, got record type %d", typ))
+		}
+		st, _, err := codec.DecodeStamp(body)
+		if err != nil {
+			fatal(err)
+		}
+		if cur, err = d.Apply(cur); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cluster push: epoch %d sealed: ops=%d changed=%d graph=%#x values=%#x chain=%#x\n",
+			st.Epoch, d.Len(), st.Changed, st.GraphHash, st.ValuesDigest, st.ChainDigest)
+		if *verify {
+			if st.GraphHash != cur.Fingerprint() {
+				fatal(fmt.Errorf("epoch %d: GRAPH DIVERGES: receipt %#x, local %#x", st.Epoch, st.GraphHash, cur.Fingerprint()))
+			}
+			ref, _ := core.RunDistributed(cur, core.Options{Rounds: T}, dist.SeqEngine{})
+			if vd := session.ValuesDigest(ref.B); st.ValuesDigest != vd {
+				fatal(fmt.Errorf("epoch %d: VALUES DIVERGE: receipt %#x, fresh seq %#x", st.Epoch, st.ValuesDigest, vd))
+			}
+			if havePrev {
+				if want := session.ChainNext(prevChain, st.GraphHash, st.PartDigest, st.ValuesDigest); st.ChainDigest != want {
+					fatal(fmt.Errorf("epoch %d: CHAIN BREAKS: receipt %#x, want %#x", st.Epoch, st.ChainDigest, want))
+				}
+			}
+			fmt.Printf("  verify: graph and values digests match a fresh sequential run ✓\n")
+		}
+		prevChain, havePrev = st.ChainDigest, true
+	}
+	if *shutdown {
+		_ = c.WriteRecord(dnet.RecBye, []byte("shutdown"))
+		_ = c.Flush()
+	}
+}
+
+// runSub subscribes to session topics and prints each notification in its
+// canonical transcript line form until the server closes or -count is
+// reached.
+func runSub(args []string) {
+	fs := flag.NewFlagSet("cluster sub", flag.ExitOnError)
+	var (
+		connect = fs.String("connect", "unix:/tmp/dkc-session.sock", "session server control address")
+		topicsF = fs.String("topics", "", "comma-separated topics, e.g. coreness:5,topk:3,threshold:2.5")
+		count   = fs.Int("count", 0, "exit after this many notifications (0 = until the server closes)")
+	)
+	fs.Parse(args)
+	if *topicsF == "" {
+		fatal(fmt.Errorf("need -topics"))
+	}
+	var topics []session.Topic
+	for _, s := range strings.Split(*topicsF, ",") {
+		t, err := session.ParseTopic(strings.TrimSpace(s))
+		if err != nil {
+			fatal(err)
+		}
+		topics = append(topics, t)
+	}
+	network, addr, err := splitAddr(*connect)
+	if err != nil {
+		fatal(err)
+	}
+	nc, err := dialRetry(network, addr, 10*time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	c := dnet.NewConn(nc)
+	defer c.Close()
+
+	if err := c.WriteRecord(dnet.RecSubscribe, session.AppendSubscribe(nil, topics)); err != nil {
+		fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		fatal(err)
+	}
+	typ, body, err := c.AwaitRecord()
+	if err != nil {
+		fatal(err)
+	}
+	if typ == dnet.RecError {
+		fatal(fmt.Errorf("server: %s", body))
+	}
+	if typ != dnet.RecSubscribe {
+		fatal(fmt.Errorf("expected subscribe echo, got record type %d", typ))
+	}
+	id, k := binary.Uvarint(body)
+	if k <= 0 {
+		fatal(fmt.Errorf("truncated subscribe echo"))
+	}
+	fmt.Printf("cluster sub: registered as sub%d (%d topics)\n", id, len(topics))
+
+	for got := 0; *count == 0 || got < *count; {
+		typ, body, err := c.AwaitRecord()
+		if err != nil {
+			fmt.Println("cluster sub: server closed")
+			return
+		}
+		switch typ {
+		case dnet.RecNotify:
+			nf, err := session.DecodeNotify(body)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(nf.String())
+			got++
+		case dnet.RecError:
+			fatal(fmt.Errorf("server: %s", body))
+		default:
+			fatal(fmt.Errorf("unexpected record type %d", typ))
+		}
+	}
+}

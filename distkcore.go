@@ -25,7 +25,10 @@
 // edge churn without re-sharding from scratch: install a GraphDelta with
 // their Churn methods and the run applies it under pinned digests, moves
 // only change-frontier nodes, and stays byte-identical to a fresh run on
-// the mutated graph (DESIGN.md §9).
+// the mutated graph (DESIGN.md §9). On top of the socket transport,
+// OpenSession keeps a cluster hot across runs: deltas stream to the live
+// workers as epochs, each re-converged incrementally, digest-chained, and
+// published to subscribers (DESIGN.md §10).
 //
 // The subpackages under internal/ carry the implementation; this package
 // re-exports the surface a downstream user needs. See README.md for a
@@ -41,6 +44,7 @@ import (
 	dnet "distkcore/internal/net"
 	"distkcore/internal/orient"
 	"distkcore/internal/quantize"
+	"distkcore/internal/session"
 	"distkcore/internal/shard"
 )
 
@@ -94,6 +98,30 @@ type (
 	// frontier size, nodes/bytes moved by the incremental rebalance, delta
 	// wire bytes, and the edge cut before/after.
 	ChurnMetrics = shard.ChurnMetrics
+	// Session is a long-lived cluster: P workers kept hot on persistent
+	// connections after one full run (epoch 0), re-converging incrementally
+	// on every streamed GraphDelta epoch while staying byte-identical to a
+	// fresh run on the mutated graph, with every epoch sealed into a digest
+	// chain. Obtain one from OpenSession; see DESIGN.md §10 and cmd/cluster's
+	// serve/push/sub for the multi-process form of the same protocol.
+	Session = session.Session
+	// SessionOptions configures OpenSession (worker count, round budget,
+	// partitioner, transport, IO timeout).
+	SessionOptions = session.Options
+	// EpochReport is what one Session.Push returns: the sealed epoch's
+	// digests, changed values and emitted notifications.
+	EpochReport = session.EpochReport
+	// Topic is one subscription subject for Session.Subscribe; build them
+	// with CorenessTopic, TopKTopic, ThresholdTopic or ParseTopic.
+	Topic = session.Topic
+	// Notification is one topic firing for one subscriber at one epoch.
+	Notification = session.Notification
+	// ValueChange is one node's value transition across an epoch, as exact
+	// bit patterns.
+	ValueChange = session.ValueChange
+	// SubscriptionLedger is the per-subscriber account of what was asked for
+	// and what has been sent.
+	SubscriptionLedger = session.Ledger
 )
 
 // RandomChurn builds a deterministic churn batch of ops edge mutations for
@@ -139,6 +167,35 @@ const (
 // kernel, and see cmd/cluster for the multi-process deployment of the same
 // protocol.
 func NetworkEngine(p int, part Partitioner) *SocketEngine { return dnet.NewEngine(p, part) }
+
+// OpenSession dials opt.P in-process workers over real connections, runs
+// epoch 0 (a full coordinated run, byte-identical to SequentialEngine's)
+// and keeps the cluster hot: every Push streams a GraphDelta batch to all
+// workers, which re-converge incrementally (frontier repair + incremental
+// rebalance) instead of re-running, and the coordinator seals each epoch's
+// graph/partition/values digests into a chain. Subscribe registers topics
+// ("coreness:v", "topk:k", "threshold:x") whose changes are reported
+// exactly once per epoch in deterministic order. Sessions require the
+// exact threshold set Λ = ℝ and exactly summable edge weights (unit
+// weights qualify) — OpenSession fails otherwise rather than let epochs
+// drift from fresh runs. Close the session when done.
+func OpenSession(g *Graph, opt SessionOptions) (*Session, error) { return session.Open(g, opt) }
+
+// CorenessTopic subscribes to changes of one node's β value.
+func CorenessTopic(v NodeID) Topic { return Topic{Kind: session.TopicCoreness, Node: v} }
+
+// TopKTopic subscribes to membership changes of the k highest-value nodes
+// (ties broken by ascending node ID).
+func TopKTopic(k int) Topic { return Topic{Kind: session.TopicTopK, K: k} }
+
+// ThresholdTopic subscribes to nodes crossing x (β(v) ≥ x flipping either
+// way).
+func ThresholdTopic(x float64) Topic { return Topic{Kind: session.TopicThreshold, X: x} }
+
+// ParseTopic parses the canonical topic string form ("coreness:17",
+// "topk:5", "threshold:2.5") — the spelling cmd/cluster's sub command and
+// the wire subscribe record use.
+func ParseTopic(s string) (Topic, error) { return session.ParseTopic(s) }
 
 // HashPartitioner spreads nodes by an integer hash of their ID — the
 // locality-oblivious baseline (expected edge cut 1−1/p).

@@ -1,0 +1,94 @@
+// Long-lived sessions: a monitoring deployment that never re-runs. A
+// 4-worker cluster opens once on a social graph, then stays hot while
+// churn streams in as delta epochs — each epoch re-converged by frontier
+// repair instead of a fresh run, sealed into a digest chain, and published
+// to subscribers who watch the k-core structure move (DESIGN.md §10).
+//
+// The punchline is the same bit-for-bit contract every engine in this repo
+// honors: after every epoch the session's values are byte-identical to a
+// fresh sequential run on the cumulatively mutated graph, and the chain
+// digest pins the whole history.
+//
+//	go run ./examples/sessions
+package main
+
+import (
+	"fmt"
+
+	"distkcore"
+	"distkcore/internal/graph"
+)
+
+func main() {
+	const n = 2000
+	g := graph.BarabasiAlbert(n, 4, 7)
+	T := distkcore.RoundsFor(n, 0.5)
+
+	s, err := distkcore.OpenSession(g, distkcore.SessionOptions{
+		P:      4,
+		Rounds: T,
+		Part:   distkcore.GreedyPartitioner(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+	gh, pd, vd := s.Digests()
+	fmt.Printf("session open: %d users on 4 workers, T=%d\n", n, T)
+	fmt.Printf("epoch 0 sealed: graph=%#x part=%#x values=%#x chain=%#x\n", gh, pd, vd, s.ChainDigest())
+
+	// Two monitors: one watches the influencer set (top 10 by coreness
+	// tier), one watches a specific account plus everyone crossing tier 5.
+	watched := 87
+	influencers := s.Subscribe(distkcore.TopKTopic(10))
+	rising := s.Subscribe(distkcore.CorenessTopic(watched), distkcore.ThresholdTopic(5))
+	fmt.Printf("subscribed: sub%d wants topk:10; sub%d wants coreness:%d, threshold:5\n\n",
+		influencers, rising, watched)
+
+	cur := g
+	for epoch := 1; epoch <= 3; epoch++ {
+		// A burst of churn arrives: friendships form and dissolve.
+		d := distkcore.RandomChurn(cur, 150, int64(1000+epoch))
+		rep, err := s.Push(d, 0)
+		if err != nil {
+			panic(err)
+		}
+		cur, err = d.Apply(cur)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("epoch %d: %d churn ops → %d values changed, chain=%#x\n",
+			rep.Epoch, d.Len(), len(rep.Changed), rep.ChainDigest)
+		for _, nf := range rep.Notifications {
+			fmt.Printf("  notify %s\n", truncate(nf))
+		}
+
+		// The monitoring deployment's soundness check: the hot session is
+		// bit-identical to recomputing from scratch on the mutated graph.
+		ref, _ := distkcore.RunDistributedOn(cur, T, distkcore.SequentialEngine())
+		got := s.Values()
+		same := true
+		for v := range ref.B {
+			same = same && got[v] == ref.B[v]
+		}
+		fmt.Printf("  == fresh sequential run on the mutated graph: %v\n", same)
+	}
+
+	led, _ := s.Ledger(rising)
+	fmt.Printf("\nrising-account monitor ledger: %d notifications, %d bytes, last epoch %d\n",
+		led.Notified, led.NotifiedBytes, led.LastEpoch)
+	if l, _ := s.Ledger(influencers); l.Notified == 0 {
+		fmt.Println("influencer monitor ledger: quiet — the top-10 set never changed")
+	}
+}
+
+// truncate keeps a notification line readable when a topic fires for many
+// nodes at once.
+func truncate(nf distkcore.Notification) string {
+	if len(nf.Changes) <= 6 {
+		return nf.String()
+	}
+	head := nf
+	head.Changes = nf.Changes[:6]
+	return fmt.Sprintf("%s … (+%d more)", head, len(nf.Changes)-6)
+}

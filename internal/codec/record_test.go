@@ -76,3 +76,21 @@ func TestDecodeHelloRejectsHostileStringLength(t *testing.T) {
 		t.Fatal("hostile string length accepted")
 	}
 }
+
+func TestStampRoundTrip(t *testing.T) {
+	s := Stamp{
+		Epoch: 7, GraphHash: 0xabad1dea, PartDigest: 0x5eed,
+		ValuesDigest: 0xfeedface, ChainDigest: 0xc0ffee, Changed: 42,
+	}
+	enc := AppendStamp(nil, s)
+	got, n, err := DecodeStamp(enc)
+	if err != nil || got != s || n != len(enc) {
+		t.Fatalf("stamp round trip: %+v, %d, %v", got, n, err)
+	}
+	// Every truncation must error, never panic or decode garbage.
+	for k := 0; k < len(enc); k++ {
+		if _, _, err := DecodeStamp(enc[:k]); err == nil {
+			t.Fatalf("truncated stamp (%d of %d bytes) accepted", k, len(enc))
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"time"
 
 	"distkcore/internal/codec"
 	"distkcore/internal/quantize"
@@ -12,7 +13,7 @@ import (
 
 // Record types. Every record is codec.AppendRecord framing around a payload
 // whose first byte is one of these; the rest of the payload is the record
-// body (DESIGN.md §8 specifies each body's layout).
+// body (DESIGN.md §8 specifies each body's layout, §10 the session types).
 const (
 	recHello   = byte(1)  // coordinator→worker: codec.Hello
 	recWelcome = byte(2)  // worker→coordinator: codec.Welcome
@@ -27,6 +28,39 @@ const (
 	recDelta   = byte(11) // coordinator→worker: shard.AppendDelta churn batch (follows a hello with DeltaDigest ≠ 0)
 )
 
+// Session record types (DESIGN.md §10): the generalization of the one-shot
+// churn record recDelta into a long-lived epoch protocol spoken after a run
+// finishes instead of hanging up. They are exported — unlike the run records
+// above — because internal/session drives them through the exported record
+// IO (ReadRecord/WriteRecord) rather than through this package's run loop;
+// the number space is one table.
+const (
+	// RecDeltaPush streams one churn batch. Coordinator→worker the body is
+	// uvarint epoch ++ shard.AppendDelta(budget, batch); client→coordinator
+	// the epoch field is 0 ("assign the next epoch").
+	RecDeltaPush = byte(12)
+	// RecReconverge is the worker's epoch reply: uvarint epoch, post-churn
+	// graph fingerprint and rebalanced partition digest (8 bytes each), then
+	// the changed values of the worker's own shard.
+	RecReconverge = byte(13)
+	// RecValuesDigest carries a codec.Stamp sealing one epoch: coordinator→
+	// worker as the commit broadcast, worker→coordinator as the verify echo,
+	// coordinator→client as the push receipt.
+	RecValuesDigest = byte(14)
+	// RecSubscribe registers topics: client→coordinator the body is a topic
+	// list; the echo back carries the assigned subscriber ID.
+	RecSubscribe = byte(15)
+	// RecNotify ships one subscription notification (session.AppendNotify).
+	RecNotify = byte(16)
+	// RecBye ends a session cleanly; the body is an optional reason ("" for
+	// a plain goodbye, "shutdown" from a client asks the server to stop).
+	RecBye = byte(17)
+	// RecError re-exports the run protocol's error record for session
+	// endpoints reading through the exported record IO: error records abort
+	// whatever exchange is in flight in both protocols.
+	RecError = recError
+)
+
 // Conn wraps one coordinator↔worker connection with buffered record IO.
 // It is not safe for concurrent use of the same direction; the coordinator
 // reads each Conn from one goroutine and writes it from another, which is
@@ -37,6 +71,9 @@ type Conn struct {
 	bw   *bufio.Writer
 	rbuf []byte // readRecord reuse
 	wbuf []byte // writeRecord encode scratch
+	// timeout, when non-zero, arms a read deadline before every record read
+	// and a write deadline before every record write/flush (SetIOTimeout).
+	timeout time.Duration
 }
 
 // NewConn wraps nc for record IO. The caller keeps ownership of nc's
@@ -53,9 +90,28 @@ func NewConn(nc net.Conn) *Conn {
 // use it to abort).
 func (c *Conn) Close() error { return c.nc.Close() }
 
-// readRecord reads one record and splits off the type byte. The returned
-// body aliases an internal buffer valid until the next readRecord.
+// SetIOTimeout installs a per-operation deadline: every subsequent record
+// read gets a read deadline of d, every record write/flush a write deadline
+// of d. Zero (the default) disables deadlines. Deadlines are what turns
+// "determinism over availability" into fail-fast instead of hang-forever: a
+// dead peer surfaces as a timeout error that aborts the run, rather than
+// parking the coordinator on a read for good. Reads that legitimately wait
+// for an unbounded time — a session worker idling between epochs, a server
+// awaiting client pushes — go through AwaitRecord, which ignores d.
+func (c *Conn) SetIOTimeout(d time.Duration) { c.timeout = d }
+
+// readRecord reads one record and splits off the type byte, arming the
+// read deadline when SetIOTimeout configured one. The returned body aliases
+// an internal buffer valid until the next read.
 func (c *Conn) readRecord() (typ byte, body []byte, err error) {
+	if c.timeout > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(c.timeout))
+	}
+	return c.rawReadRecord()
+}
+
+// rawReadRecord is readRecord without touching the deadline.
+func (c *Conn) rawReadRecord() (typ byte, body []byte, err error) {
 	payload, err := codec.ReadRecord(c.br, c.rbuf, 0)
 	if err != nil {
 		return 0, nil, err
@@ -67,12 +123,32 @@ func (c *Conn) readRecord() (typ byte, body []byte, err error) {
 	return payload[0], payload[1:], nil
 }
 
+// ReadRecord is the exported form of the record read for protocol layers
+// built on top of this package (internal/session): one record, type byte
+// split off, IO deadline armed when configured. The body aliases an
+// internal buffer valid until the next read — decode before reading again.
+func (c *Conn) ReadRecord() (typ byte, body []byte, err error) { return c.readRecord() }
+
+// AwaitRecord is ReadRecord minus the deadline: it clears any read deadline
+// first, so it can park indefinitely. Session endpoints use it at epoch
+// boundaries — a worker waiting for the next delta push, a server waiting
+// for the next client record — where silence is idleness, not death.
+func (c *Conn) AwaitRecord() (typ byte, body []byte, err error) {
+	if c.timeout > 0 {
+		c.nc.SetReadDeadline(time.Time{})
+	}
+	return c.rawReadRecord()
+}
+
 // writeRecord buffers one record of the given type; chunks are
 // concatenated into the body. The payload length is known up front, so the
 // whole record — uvarint length, type byte, chunks — is assembled in one
 // scratch buffer (frames are the wire hot path; no intermediate copy).
 // Flush with flush before switching to reads.
 func (c *Conn) writeRecord(typ byte, chunks ...[]byte) error {
+	if c.timeout > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(c.timeout))
+	}
 	total := 1
 	for _, ch := range chunks {
 		total += len(ch)
@@ -87,7 +163,21 @@ func (c *Conn) writeRecord(typ byte, chunks ...[]byte) error {
 	return err
 }
 
-func (c *Conn) flush() error { return c.bw.Flush() }
+func (c *Conn) flush() error {
+	if c.timeout > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(c.timeout))
+	}
+	return c.bw.Flush()
+}
+
+// WriteRecord buffers one record of the given type (chunks concatenated
+// into the body) — the exported form of the record write for protocol
+// layers built on top of this package. Call Flush before switching to
+// reads.
+func (c *Conn) WriteRecord(typ byte, chunks ...[]byte) error { return c.writeRecord(typ, chunks...) }
+
+// Flush flushes buffered record writes to the connection.
+func (c *Conn) Flush() error { return c.flush() }
 
 // SendError best-effort ships an error record to the peer so it can abort
 // with a reason instead of a bare broken connection.

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
+	"time"
 
 	"distkcore/internal/codec"
 	"distkcore/internal/dist"
@@ -35,6 +37,11 @@ type Spec struct {
 	// rebalanced assignment — the run executes on those.
 	Delta      dist.GraphDelta
 	MoveBudget int
+	// IOTimeout, when non-zero, bounds every wait on a worker reply: a
+	// worker that stays silent for longer fails the run with a timeout
+	// error instead of hanging the coordinator forever (fail-fast, the
+	// deadline side of "determinism over availability").
+	IOTimeout time.Duration
 }
 
 // NodeValue is one node's result value as shipped by a worker — the exact
@@ -88,6 +95,118 @@ type inRec struct {
 	err  error
 }
 
+// Hub owns the coordinator side of P established worker connections: one
+// reader goroutine per connection pumping records into a shared channel,
+// plus the run protocol (Run) on top. Unlike the one-shot RunCoordinator
+// wrapper, a Hub outlives a run — its readers keep pumping after Run
+// returns, which is what lets a session (internal/session) keep the same
+// workers hot across an epoch stream on one set of connections. Close it
+// exactly once, after the last exchange; the caller still owns and closes
+// the connections themselves.
+type Hub struct {
+	// Timeout, when non-zero, bounds every Next wait: silence longer than
+	// this fails the exchange with a timeout error instead of hanging.
+	Timeout time.Duration
+
+	conns []*Conn
+	ch    chan inRec
+	done  chan struct{}
+	once  sync.Once
+}
+
+// NewHub wraps conns (conns[i] is shard i) and starts the per-connection
+// reader goroutines.
+func NewHub(conns []*Conn) *Hub {
+	h := &Hub{
+		conns: conns,
+		ch:    make(chan inRec, 8*len(conns)),
+		done:  make(chan struct{}),
+	}
+	for i, cn := range conns {
+		go h.reader(i, cn)
+	}
+	return h
+}
+
+// P returns the worker count.
+func (h *Hub) P() int { return len(h.conns) }
+
+// Conn returns worker i's connection for writes. All writes must come from
+// one goroutine at a time; reads stay with the Hub's readers — never read a
+// hub-owned connection directly.
+func (h *Hub) Conn(i int) *Conn { return h.conns[i] }
+
+// Close releases the reader goroutines: any reader parked on the bounded
+// channel unblocks and exits, and readers blocked in a connection read exit
+// as soon as the caller closes the connections. Idempotent.
+func (h *Hub) Close() { h.once.Do(func() { close(h.done) }) }
+
+// SendError best-effort ships an error record to every worker, so an abort
+// carries its reason instead of a bare broken connection.
+func (h *Hub) SendError(err error) {
+	for _, cn := range h.conns {
+		cn.SendError(err)
+	}
+}
+
+// reader pumps one connection's records into the shared channel, copying
+// each payload out of the Conn's reused buffer. It exits on the first read
+// error (EOF included, which is the normal end once the caller closes the
+// connection after the last exchange) or when the hub is closed and nobody
+// will drain the channel again.
+func (h *Hub) reader(i int, cn *Conn) {
+	for {
+		typ, body, err := cn.AwaitRecord()
+		if err != nil {
+			select {
+			case h.ch <- inRec{from: i, err: err}:
+			case <-h.done:
+			}
+			return
+		}
+		cp := make([]byte, len(body))
+		copy(cp, body)
+		select {
+		case h.ch <- inRec{from: i, typ: typ, body: cp}:
+		case <-h.done:
+			return
+		}
+	}
+}
+
+// next receives one record, folding transport errors, worker error records
+// and reply timeouts into Go errors.
+func (h *Hub) next() (inRec, error) {
+	var r inRec
+	if h.Timeout > 0 {
+		t := time.NewTimer(h.Timeout)
+		select {
+		case r = <-h.ch:
+			t.Stop()
+		case <-t.C:
+			return inRec{from: -1}, fmt.Errorf("net: no worker record within %v (dead peer?)", h.Timeout)
+		}
+	} else {
+		r = <-h.ch
+	}
+	if r.err != nil {
+		return r, fmt.Errorf("net: worker %d: %w", r.from, r.err)
+	}
+	if r.typ == recError {
+		return r, fmt.Errorf("net: worker %d aborted: %s", r.from, r.body)
+	}
+	return r, nil
+}
+
+// Next is the exported record receive for protocol layers driving the hub
+// beyond the built-in run (internal/session's epoch exchanges): one record
+// from whichever worker spoke, with transport errors, worker error records
+// and timeouts folded into err. The body is a private copy.
+func (h *Hub) Next() (from int, typ byte, body []byte, err error) {
+	r, err := h.next()
+	return r.from, r.typ, r.body, err
+}
+
 // RunCoordinator drives one full run over P established worker
 // connections: handshake, per-round barrier (step → frame relay → deliver),
 // finish, metric aggregation. conns[i] becomes shard i. It returns the
@@ -98,95 +217,60 @@ type inRec struct {
 // availability. Any connection error, version skew, digest mismatch or
 // protocol violation aborts the whole run with an error after best-effort
 // error records to the surviving workers; there is no retry, reconnect or
-// partial result. Liveness is the transport's concern — set connection
-// deadlines on the conns if a hung worker must not hang the coordinator.
-// The caller owns the connections and closes them afterwards; together
-// with the internal done signal that releases channel-blocked readers,
-// that terminates the reader goroutines this call spawns.
+// partial result. Spec.IOTimeout (or deadlines set on the conns) makes a
+// dead worker fail fast instead of hanging the coordinator. The caller
+// owns the connections and closes them afterwards; together with the
+// hub teardown that releases channel-blocked readers, that terminates the
+// reader goroutines this call spawns. To keep the workers alive for more
+// exchanges after the run — a session — build a Hub yourself and call its
+// Run; this wrapper tears the hub down when the run ends.
 func RunCoordinator(conns []*Conn, spec Spec) (dist.Metrics, *Report, error) {
-	p := len(conns)
+	h := NewHub(conns)
+	defer h.Close()
+	return h.Run(spec)
+}
+
+// Run drives one coordinated run over the hub's connections (see
+// RunCoordinator). The hub stays usable afterwards: readers keep pumping,
+// so a session layer can continue with epoch exchanges on the same
+// connections.
+func (h *Hub) Run(spec Spec) (dist.Metrics, *Report, error) {
+	p := len(h.conns)
 	if p == 0 || (spec.P != 0 && spec.P != p) {
 		return dist.Metrics{}, nil, fmt.Errorf("net: %d connections for P=%d", p, spec.P)
 	}
-	c := &coordinator{
-		conns: conns,
-		spec:  spec,
-		ch:    make(chan inRec, 8*p),
-		done:  make(chan struct{}),
-		rep:   &Report{Sharding: shard.ShardMetrics{P: p, PerShardBytes: make([]int64, p)}},
+	if spec.IOTimeout > 0 && h.Timeout == 0 {
+		h.Timeout = spec.IOTimeout
 	}
-	// done releases readers parked on the bounded channel once this call
-	// returns — an abort mid-round can leave more frames in flight than the
-	// channel holds, and a reader blocked on the send would never observe
-	// the caller closing its connection.
-	defer close(c.done)
-	for i, cn := range conns {
-		go c.reader(i, cn)
+	c := &coordinator{
+		hub:  h,
+		spec: spec,
+		rep:  &Report{Sharding: shard.ShardMetrics{P: p, PerShardBytes: make([]int64, p)}},
 	}
 	met, err := c.run()
 	if err != nil {
-		for _, cn := range conns {
-			cn.SendError(err)
-		}
+		h.SendError(err)
 		return dist.Metrics{}, nil, err
 	}
 	return met, c.rep, nil
 }
 
 type coordinator struct {
-	conns []*Conn
-	spec  Spec
-	ch    chan inRec
-	done  chan struct{} // closed when RunCoordinator returns
-	rep   *Report
+	hub  *Hub
+	spec Spec
+	rep  *Report
 }
 
-// reader pumps one connection's records into the shared channel, copying
-// each payload out of the Conn's reused buffer. It exits on the first read
-// error (EOF included, which is the normal end once the caller closes the
-// connection after the run) or when the run is over and nobody will drain
-// the channel again.
-func (c *coordinator) reader(i int, cn *Conn) {
-	for {
-		typ, body, err := cn.readRecord()
-		if err != nil {
-			select {
-			case c.ch <- inRec{from: i, err: err}:
-			case <-c.done:
-			}
-			return
-		}
-		cp := make([]byte, len(body))
-		copy(cp, body)
-		select {
-		case c.ch <- inRec{from: i, typ: typ, body: cp}:
-		case <-c.done:
-			return
-		}
-	}
-}
-
-// next receives one record, folding transport errors and worker error
-// records into Go errors.
-func (c *coordinator) next() (inRec, error) {
-	r := <-c.ch
-	if r.err != nil {
-		return r, fmt.Errorf("net: worker %d: %w", r.from, r.err)
-	}
-	if r.typ == recError {
-		return r, fmt.Errorf("net: worker %d aborted: %s", r.from, r.body)
-	}
-	return r, nil
-}
+func (c *coordinator) next() (inRec, error) { return c.hub.next() }
 
 func (c *coordinator) run() (dist.Metrics, error) {
-	p := len(c.conns)
+	p := c.hub.P()
 	kind, lamL, lamName := lambdaFields(c.spec.Lam)
 	var deltaRec []byte
 	if len(c.spec.Delta.Ops) > 0 {
 		deltaRec = shard.AppendDelta(nil, c.spec.MoveBudget, c.spec.Delta)
 	}
-	for i, cn := range c.conns {
+	for i, cn := range c.hub.conns {
 		h := codec.Hello{
 			Version:     codec.HandshakeVersion,
 			P:           p,
@@ -263,7 +347,7 @@ func (c *coordinator) run() (dist.Metrics, error) {
 	} else {
 		fin = append(fin, 0)
 	}
-	for _, cn := range c.conns {
+	for _, cn := range c.hub.conns {
 		if err := cn.writeRecord(recFinish, fin); err != nil {
 			return dist.Metrics{}, err
 		}
@@ -348,9 +432,9 @@ func (c *coordinator) run() (dist.Metrics, error) {
 // read loop, so the coordinator's writes always drain. Returns the number
 // of nodes still alive across the cluster after the round.
 func (c *coordinator) round(t int) (alive int, err error) {
-	p := len(c.conns)
+	p := c.hub.P()
 	step := binary.AppendUvarint(nil, uint64(t))
-	for _, cn := range c.conns {
+	for _, cn := range c.hub.conns {
 		if err := cn.writeRecord(recStep, step); err != nil {
 			return 0, err
 		}
@@ -410,7 +494,7 @@ func (c *coordinator) round(t int) (alive int, err error) {
 			return 0, fmt.Errorf("net: unexpected record type %d from worker %d in round %d", r.typ, r.from, t)
 		}
 	}
-	for q, cn := range c.conns {
+	for q, cn := range c.hub.conns {
 		for _, frame := range relay[q] {
 			if err := cn.writeRecord(recFrame, frame); err != nil {
 				return 0, err

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"distkcore/internal/dist"
 	"distkcore/internal/graph"
@@ -38,6 +39,10 @@ type Engine struct {
 	Transport string
 	// Delay, when non-nil, is installed on every worker (see DelayFunc).
 	Delay DelayFunc
+	// IOTimeout, when non-zero, is installed on every connection
+	// (Conn.SetIOTimeout) and on the coordinator's reply waits
+	// (Spec.IOTimeout): a stalled peer fails the run instead of hanging it.
+	IOTimeout time.Duration
 
 	p    int
 	part shard.Partitioner
@@ -157,11 +162,18 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 	}
 	spec.GraphHash = runG.Fingerprint()
 	spec.PartDigest = shard.PartitionDigest(runAssign)
-	coord, workers, cleanup, err := dialCluster(e.Transport, p)
+	spec.IOTimeout = e.IOTimeout
+	coord, workers, cleanup, err := DialCluster(e.Transport, p)
 	if err != nil {
 		panic("net: " + err.Error())
 	}
 	defer cleanup()
+	if e.IOTimeout > 0 {
+		for i := 0; i < p; i++ {
+			coord[i].SetIOTimeout(e.IOTimeout)
+			workers[i].SetIOTimeout(e.IOTimeout)
+		}
+	}
 
 	var wg sync.WaitGroup
 	for s := 0; s < p; s++ {
@@ -196,9 +208,11 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 	return met
 }
 
-// dialCluster establishes p coordinator↔worker connection pairs over the
-// given transport. cleanup tears down any listener and socket directory.
-func dialCluster(transport string, p int) (coord []*Conn, workers []*Conn, cleanup func(), err error) {
+// DialCluster establishes p coordinator↔worker connection pairs over the
+// given transport (coord[i] ↔ workers[i]). cleanup tears down any listener
+// and socket directory. Exported for internal/session, whose in-process
+// Open wires up the same topology and then keeps it alive across epochs.
+func DialCluster(transport string, p int) (coord []*Conn, workers []*Conn, cleanup func(), err error) {
 	coord = make([]*Conn, p)
 	workers = make([]*Conn, p)
 	cleanup = func() {}

@@ -1,0 +1,98 @@
+package net
+
+import (
+	"errors"
+	stdnet "net"
+	"testing"
+	"time"
+
+	"distkcore/internal/codec"
+)
+
+// TestIOTimeoutReadFailsFast pins the fail-fast half of "determinism over
+// availability": a peer that goes silent mid-protocol must surface as a
+// timeout error promptly, not park the reader forever.
+func TestIOTimeoutReadFailsFast(t *testing.T) {
+	a, b := stdnet.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := NewConn(a)
+	c.SetIOTimeout(50 * time.Millisecond)
+	start := time.Now()
+	_, _, err := c.ReadRecord()
+	if err == nil {
+		t.Fatal("read from a dead peer returned a record")
+	}
+	var ne stdnet.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want a timeout error, got %v", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("read took %v to fail; that is a hang, not a deadline", el)
+	}
+}
+
+// TestIOTimeoutWriteFailsFast is the same contract on the write path: a
+// peer that stops draining must turn a flush into a timeout error.
+func TestIOTimeoutWriteFailsFast(t *testing.T) {
+	a, b := stdnet.Pipe()
+	defer a.Close()
+	defer b.Close() // alive but never reading
+	c := NewConn(a)
+	c.SetIOTimeout(50 * time.Millisecond)
+	start := time.Now()
+	err := c.WriteRecord(RecBye, make([]byte, 1<<17))
+	if err == nil {
+		err = c.Flush()
+	}
+	if err == nil {
+		t.Fatal("write into a stalled peer succeeded")
+	}
+	var ne stdnet.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want a timeout error, got %v", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("write took %v to fail; that is a hang, not a deadline", el)
+	}
+}
+
+// TestAwaitRecordIgnoresDeadline pins the other half: idleness is not
+// death. AwaitRecord must park past the IO timeout and still deliver the
+// record that eventually arrives — sessions idle between epochs exactly
+// this way.
+func TestAwaitRecordIgnoresDeadline(t *testing.T) {
+	a, b := stdnet.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := NewConn(a)
+	c.SetIOTimeout(30 * time.Millisecond)
+
+	type result struct {
+		typ  byte
+		body []byte
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		typ, body, err := c.AwaitRecord()
+		got <- result{typ, append([]byte(nil), body...), err}
+	}()
+
+	// Well past the IO timeout, then the record.
+	time.Sleep(120 * time.Millisecond)
+	if _, err := b.Write(codec.AppendRecord(nil, []byte{RecBye, 'o', 'k'})); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatalf("AwaitRecord hit the deadline it should ignore: %v", r.err)
+		}
+		if r.typ != RecBye || string(r.body) != "ok" {
+			t.Fatalf("got record (%d, %q)", r.typ, r.body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AwaitRecord never returned")
+	}
+}

@@ -1,0 +1,289 @@
+package session
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distkcore/internal/codec"
+	"distkcore/internal/dist"
+	"distkcore/internal/graph"
+	net "distkcore/internal/net"
+	"distkcore/internal/shard"
+)
+
+// EpochReport is what one sealed epoch yields at the coordinator: the
+// change set, the churn ledger, the four digests and the notifications the
+// epoch fired.
+type EpochReport struct {
+	Epoch int
+	// Changed lists every node whose β_T moved, ascending.
+	Changed []ValueChange
+	// Churn is the placement ledger of the absorbed batch.
+	Churn shard.ChurnMetrics
+	// The sealed state digests, as stamped.
+	GraphHash    uint64
+	PartDigest   uint64
+	ValuesDigest uint64
+	ChainDigest  uint64
+	// Notifications are the epoch's subscription firings, in the protocol's
+	// deterministic order.
+	Notifications []Notification
+}
+
+// Stamp returns the epoch's codec.Stamp (what the wire server forwards to
+// pushers as a receipt).
+func (r *EpochReport) Stamp() codec.Stamp {
+	return codec.Stamp{Epoch: r.Epoch, GraphHash: r.GraphHash, PartDigest: r.PartDigest,
+		ValuesDigest: r.ValuesDigest, ChainDigest: r.ChainDigest, Changed: len(r.Changed)}
+}
+
+// Coordinator is the coordinator side of a live session: the authoritative
+// graph, assignment and value vector, the digest chain, and the
+// subscription registry. It drives epochs over a net.Hub whose workers have
+// already completed their epoch-0 run and entered ServeEpochs. Not safe for
+// concurrent use — one goroutine owns the session.
+type Coordinator struct {
+	hub    *net.Hub
+	g      *graph.Graph
+	assign []int
+	part   shard.Partitioner
+	p      int
+	b      []float64
+	epoch  int
+	chain  uint64
+	gh, pd uint64
+	vd     uint64
+	subs   *SubManager
+	broken error
+}
+
+// NewCoordinator seals epoch 0 over the hub: g, assign and b are the
+// epoch-0 run's graph, assignment and assembled value vector (the
+// coordinator takes copies of assign and b). It broadcasts the epoch-0
+// stamp and collects every worker's verify echo, so a returned Coordinator
+// means all P oracles agree with the run bit for bit.
+func NewCoordinator(hub *net.Hub, g *graph.Graph, assign []int, part shard.Partitioner, b []float64) (*Coordinator, error) {
+	p := hub.P()
+	switch {
+	case len(assign) != g.N():
+		return nil, fmt.Errorf("session: assignment covers %d nodes, graph has %d", len(assign), g.N())
+	case len(b) != g.N():
+		return nil, fmt.Errorf("session: values cover %d nodes, graph has %d", len(b), g.N())
+	case part == nil:
+		return nil, fmt.Errorf("session: coordinator needs the partitioner for epoch rebalances")
+	}
+	c := &Coordinator{
+		hub: hub, g: g, part: part, p: p,
+		assign: append([]int(nil), assign...),
+		b:      append([]float64(nil), b...),
+		subs:   NewSubManager(),
+	}
+	c.gh, c.pd, c.vd = g.Fingerprint(), shard.PartitionDigest(c.assign), ValuesDigest(c.b)
+	c.chain = ChainNext(0, c.gh, c.pd, c.vd)
+	st := codec.Stamp{Epoch: 0, GraphHash: c.gh, PartDigest: c.pd, ValuesDigest: c.vd, ChainDigest: c.chain}
+	if err := c.broadcastStamp(st); err != nil {
+		return nil, c.fail(err)
+	}
+	if err := c.collectEchoes(st); err != nil {
+		return nil, c.fail(err)
+	}
+	return c, nil
+}
+
+// Push absorbs one delta batch as the next epoch: broadcast, collect every
+// worker's reconverge, seal with a stamp, publish notifications. A batch
+// that fails validation (out-of-range endpoint, delete of a missing edge)
+// is rejected BEFORE anything is broadcast — the error is returned and the
+// session stays live, because no worker saw the batch. Any failure after
+// the broadcast breaks the session permanently (state may have forked), and
+// every later call returns the original error.
+func (c *Coordinator) Push(d dist.GraphDelta, moveBudget int) (*EpochReport, error) {
+	if c.broken != nil {
+		return nil, fmt.Errorf("session: broken by earlier error: %w", c.broken)
+	}
+	if len(d.Ops) == 0 {
+		return nil, fmt.Errorf("session: empty delta push")
+	}
+	// Absorb locally first: AbsorbDelta validates the batch end to end
+	// (codec round trip, application, rebalance) without touching a worker.
+	g2, next, cm, err := shard.AbsorbDelta(c.part, c.g, c.p, c.assign, d, moveBudget)
+	if err != nil {
+		return nil, fmt.Errorf("session: delta rejected (session still live): %w", err)
+	}
+	epoch := c.epoch + 1
+	push := AppendDeltaPush(nil, epoch, moveBudget, d)
+	if err := c.broadcast(net.RecDeltaPush, push); err != nil {
+		return nil, c.fail(err)
+	}
+	gh, pd := g2.Fingerprint(), shard.PartitionDigest(next)
+	all, err := c.collectReconverges(epoch, gh, pd, next)
+	if err != nil {
+		return nil, c.fail(err)
+	}
+
+	// Fold the changes into a fresh vector; prev stays intact for Publish.
+	prev := c.b
+	cur := append([]float64(nil), prev...)
+	for _, ch := range all {
+		if math.Float64bits(prev[ch.Node]) != ch.OldBits {
+			return nil, c.fail(fmt.Errorf("session: epoch %d change at node %d claims old bits %#x, coordinator holds %#x",
+				epoch, ch.Node, ch.OldBits, math.Float64bits(prev[ch.Node])))
+		}
+		cur[ch.Node] = math.Float64frombits(ch.NewBits)
+	}
+	vd := ValuesDigest(cur)
+	chain := ChainNext(c.chain, gh, pd, vd)
+	st := codec.Stamp{Epoch: epoch, GraphHash: gh, PartDigest: pd, ValuesDigest: vd, ChainDigest: chain, Changed: len(all)}
+	if err := c.broadcastStamp(st); err != nil {
+		return nil, c.fail(err)
+	}
+	if err := c.collectEchoes(st); err != nil {
+		return nil, c.fail(err)
+	}
+
+	// Sealed: commit, then publish against the committed transition.
+	c.g, c.assign, c.b = g2, next, cur
+	c.epoch, c.chain = epoch, chain
+	c.gh, c.pd, c.vd = gh, pd, vd
+	notifs := c.subs.Publish(epoch, prev, cur, changedNodes(all))
+	return &EpochReport{
+		Epoch: epoch, Changed: all, Churn: cm,
+		GraphHash: gh, PartDigest: pd, ValuesDigest: vd, ChainDigest: chain,
+		Notifications: notifs,
+	}, nil
+}
+
+// collectReconverges gathers one reconverge per worker, verifying digests,
+// epoch, post-rebalance ownership and duplicate-freedom, and returns the
+// merged change set ascending by node.
+func (c *Coordinator) collectReconverges(epoch int, gh, pd uint64, next []int) ([]ValueChange, error) {
+	var all []ValueChange
+	got := make([]bool, c.p)
+	for i := 0; i < c.p; i++ {
+		from, typ, body, err := c.hub.Next()
+		if err != nil {
+			return nil, err
+		}
+		if typ != net.RecReconverge {
+			return nil, fmt.Errorf("session: worker %d sent record type %d, want reconverge", from, typ)
+		}
+		r, err := DecodeReconverge(body)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case got[from]:
+			return nil, fmt.Errorf("session: worker %d reconverged twice at epoch %d", from, epoch)
+		case r.Epoch != epoch:
+			return nil, fmt.Errorf("session: worker %d reconverged epoch %d, want %d", from, r.Epoch, epoch)
+		case r.GraphHash != gh:
+			return nil, fmt.Errorf("session: worker %d epoch %d graph fingerprint %#x, coordinator %#x", from, epoch, r.GraphHash, gh)
+		case r.PartDigest != pd:
+			return nil, fmt.Errorf("session: worker %d epoch %d partition digest %#x, coordinator %#x", from, epoch, r.PartDigest, pd)
+		}
+		got[from] = true
+		for _, ch := range r.Changes {
+			if ch.Node < 0 || ch.Node >= len(next) {
+				return nil, fmt.Errorf("session: worker %d shipped change for node %d of %d", from, ch.Node, len(next))
+			}
+			if next[ch.Node] != from {
+				return nil, fmt.Errorf("session: worker %d shipped change for node %d owned by shard %d", from, ch.Node, next[ch.Node])
+			}
+		}
+		all = append(all, r.Changes...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Node < all[j].Node })
+	for i := 1; i < len(all); i++ {
+		if all[i].Node == all[i-1].Node {
+			return nil, fmt.Errorf("session: two workers shipped node %d at epoch %d", all[i].Node, epoch)
+		}
+	}
+	return all, nil
+}
+
+// broadcast writes one record to every worker.
+func (c *Coordinator) broadcast(typ byte, body []byte) error {
+	for i := 0; i < c.p; i++ {
+		cn := c.hub.Conn(i)
+		if err := cn.WriteRecord(typ, body); err != nil {
+			return fmt.Errorf("session: broadcast to worker %d: %w", i, err)
+		}
+		if err := cn.Flush(); err != nil {
+			return fmt.Errorf("session: broadcast to worker %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) broadcastStamp(st codec.Stamp) error {
+	return c.broadcast(net.RecValuesDigest, codec.AppendStamp(nil, st))
+}
+
+// collectEchoes demands every worker's byte-identical stamp echo.
+func (c *Coordinator) collectEchoes(want codec.Stamp) error {
+	got := make([]bool, c.p)
+	for i := 0; i < c.p; i++ {
+		from, typ, body, err := c.hub.Next()
+		if err != nil {
+			return err
+		}
+		if typ != net.RecValuesDigest {
+			return fmt.Errorf("session: worker %d sent record type %d, want stamp echo", from, typ)
+		}
+		st, _, err := codec.DecodeStamp(body)
+		if err != nil {
+			return err
+		}
+		if got[from] {
+			return fmt.Errorf("session: worker %d echoed epoch %d twice", from, want.Epoch)
+		}
+		if st != want {
+			return fmt.Errorf("session: worker %d echoed %+v, want %+v", from, st, want)
+		}
+		got[from] = true
+	}
+	return nil
+}
+
+// fail breaks the session: the error is latched, best-effort shipped to
+// every worker, and returned.
+func (c *Coordinator) fail(err error) error {
+	c.broken = err
+	c.hub.SendError(err)
+	return err
+}
+
+// Bye broadcasts a clean goodbye (best-effort; the session is over either
+// way).
+func (c *Coordinator) Bye() {
+	for i := 0; i < c.p; i++ {
+		cn := c.hub.Conn(i)
+		_ = cn.WriteRecord(net.RecBye)
+		_ = cn.Flush()
+	}
+}
+
+// Err returns the error that broke the session, nil while it is live.
+func (c *Coordinator) Err() error { return c.broken }
+
+// Epoch returns the last sealed epoch.
+func (c *Coordinator) Epoch() int { return c.epoch }
+
+// ChainDigest returns the chain digest of the last sealed epoch.
+func (c *Coordinator) ChainDigest() uint64 { return c.chain }
+
+// Digests returns the last sealed epoch's (graph, partition, values)
+// digests.
+func (c *Coordinator) Digests() (graphHash, partDigest, valuesDigest uint64) {
+	return c.gh, c.pd, c.vd
+}
+
+// Values returns a copy of the current value vector.
+func (c *Coordinator) Values() []float64 { return append([]float64(nil), c.b...) }
+
+// Graph returns the current graph (immutable; epochs replace it).
+func (c *Coordinator) Graph() *graph.Graph { return c.g }
+
+// Subs exposes the subscription registry.
+func (c *Coordinator) Subs() *SubManager { return c.subs }

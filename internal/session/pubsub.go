@@ -1,0 +1,157 @@
+package session
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"distkcore/internal/graph"
+)
+
+// Notification is one topic firing for one subscriber at one epoch.
+type Notification struct {
+	Sub     int
+	Epoch   int
+	Topic   Topic
+	Changes []ValueChange
+}
+
+// String renders the canonical one-line transcript form, e.g.
+//
+//	e2 sub1 coreness:17 17:3.5->3
+//
+// with multiple changes space-separated in ascending node order. The
+// transcript test pins this format and `cluster sub` prints it, so wire
+// subscribers and in-process ones read identical histories.
+func (n Notification) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "e%d sub%d %s", n.Epoch, n.Sub, n.Topic)
+	for _, ch := range n.Changes {
+		fmt.Fprintf(&b, " %d:%g->%g", ch.Node, ch.Old(), ch.New())
+	}
+	return b.String()
+}
+
+// Ledger is the per-subscriber account the coordinator keeps, in the shape
+// of the IPPS decision ledger: what the subscriber asked for and what it
+// has been sent.
+type Ledger struct {
+	// Topics is the want-list size after canonicalization (dedup).
+	Topics int
+	// Notified counts notifications emitted to this subscriber.
+	Notified int
+	// NotifiedBytes prices them: the encoded Notify record body size,
+	// independent of which transport (wire or in-process) carried it.
+	NotifiedBytes int64
+	// LastEpoch is the epoch of the most recent notification; -1 before
+	// any.
+	LastEpoch int
+}
+
+// subscriber pairs a want-list (canonical order) with its ledger.
+type subscriber struct {
+	id     int
+	topics []Topic
+	led    Ledger
+}
+
+// SubManager is the coordinator's subscription registry: want-lists keyed
+// by subscriber ID, evaluated once per sealed epoch. It is not safe for
+// concurrent use; the session serializes epoch seals and subscription
+// changes on one goroutine, which is also what keeps notification order
+// deterministic.
+type SubManager struct {
+	nextID int
+	subs   map[int]*subscriber
+	order  []int // subscriber IDs ascending (IDs are assigned ascending)
+}
+
+// NewSubManager returns an empty registry; subscriber IDs start at 1.
+func NewSubManager() *SubManager {
+	return &SubManager{nextID: 1, subs: map[int]*subscriber{}}
+}
+
+// Subscribe registers a want-list (canonicalized: sorted, deduped) and
+// returns the assigned subscriber ID.
+func (sm *SubManager) Subscribe(topics []Topic) int {
+	id := sm.nextID
+	sm.nextID++
+	ts := canonTopics(topics)
+	sm.subs[id] = &subscriber{id: id, topics: ts, led: Ledger{Topics: len(ts), LastEpoch: -1}}
+	sm.order = append(sm.order, id)
+	return id
+}
+
+// Unsubscribe removes a subscriber; it reports whether the ID was live.
+func (sm *SubManager) Unsubscribe(id int) bool {
+	if _, ok := sm.subs[id]; !ok {
+		return false
+	}
+	delete(sm.subs, id)
+	for i, x := range sm.order {
+		if x == id {
+			sm.order = append(sm.order[:i], sm.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Ledger returns a copy of the subscriber's ledger.
+func (sm *SubManager) Ledger(id int) (Ledger, bool) {
+	s, ok := sm.subs[id]
+	if !ok {
+		return Ledger{}, false
+	}
+	return s.led, true
+}
+
+// Subscribers returns the live subscriber IDs, ascending.
+func (sm *SubManager) Subscribers() []int {
+	return append([]int(nil), sm.order...)
+}
+
+// Publish evaluates every distinct wanted topic against one sealed epoch
+// transition and returns the notifications in the protocol's deterministic
+// order: ascending subscriber ID, canonical topic order within each
+// want-list. A topic fires for a subscriber at most once per epoch, and
+// only when its answer changed; each distinct topic is evaluated once no
+// matter how many want-lists name it (the pubmanager side of the IPPS
+// shape). changed lists the nodes whose value bits moved, ascending.
+func (sm *SubManager) Publish(epoch int, prev, cur []float64, changed []graph.NodeID) []Notification {
+	if len(sm.order) == 0 {
+		return nil
+	}
+	ev := newEpochView(prev, cur, changed)
+	memo := map[Topic][]ValueChange{}
+	var out []Notification
+	for _, id := range sm.order {
+		s := sm.subs[id]
+		for _, t := range s.topics {
+			chs, ok := memo[t]
+			if !ok {
+				chs = ev.eval(t)
+				memo[t] = chs
+			}
+			if len(chs) == 0 {
+				continue
+			}
+			n := Notification{Sub: id, Epoch: epoch, Topic: t, Changes: chs}
+			s.led.Notified++
+			s.led.NotifiedBytes += int64(len(AppendNotify(nil, n)))
+			s.led.LastEpoch = epoch
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// changedNodes extracts the ascending node list from a sorted change set.
+func changedNodes(chs []ValueChange) []graph.NodeID {
+	out := make([]graph.NodeID, len(chs))
+	for i, ch := range chs {
+		out[i] = ch.Node
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,139 @@
+package session
+
+import (
+	"reflect"
+	"testing"
+
+	"distkcore/internal/graph"
+)
+
+// TestPublishLiteralTranscript pins the notification protocol to a literal
+// transcript over a synthetic epoch transition, so any change to ordering,
+// payloads or rendering shows up as a diff against these exact lines.
+//
+// prev = [3 3 2 1 0], cur = [3 1 2 2 0]: node 1 fell 3→1, node 3 rose 1→2.
+//   - coreness:1 fires with that one change; coreness:4 stays silent.
+//   - topk:2: before {0,1}, after {0,2} (value desc, node asc on ties), so
+//     the symmetric difference {1,2} — including node 2, whose own value
+//     never moved but whose membership did.
+//   - threshold:2: node 1 crossed down, node 3 crossed up.
+func TestPublishLiteralTranscript(t *testing.T) {
+	prev := []float64{3, 3, 2, 1, 0}
+	cur := []float64{3, 1, 2, 2, 0}
+	changed := []graph.NodeID{1, 3}
+
+	sm := NewSubManager()
+	sub1 := sm.Subscribe([]Topic{
+		{Kind: TopicThreshold, X: 2}, // deliberately out of canonical order
+		{Kind: TopicCoreness, Node: 4},
+		{Kind: TopicTopK, K: 2},
+		{Kind: TopicCoreness, Node: 1},
+	})
+	sub2 := sm.Subscribe([]Topic{
+		{Kind: TopicThreshold, X: 2},
+		{Kind: TopicCoreness, Node: 1},
+	})
+	if sub1 != 1 || sub2 != 2 {
+		t.Fatalf("subscriber IDs (%d, %d), want (1, 2)", sub1, sub2)
+	}
+
+	nfs := sm.Publish(5, prev, cur, changed)
+	var got []string
+	for _, n := range nfs {
+		got = append(got, n.String())
+	}
+	want := []string{
+		"e5 sub1 coreness:1 1:3->1",
+		"e5 sub1 topk:2 1:3->1 2:2->2",
+		"e5 sub1 threshold:2 1:3->1 3:1->2",
+		"e5 sub2 coreness:1 1:3->1",
+		"e5 sub2 threshold:2 1:3->1 3:1->2",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("transcript diverged:\n got: %q\nwant: %q", got, want)
+	}
+
+	// Ledgers account exactly what was sent.
+	led1, ok := sm.Ledger(sub1)
+	if !ok || led1.Topics != 4 || led1.Notified != 3 || led1.LastEpoch != 5 {
+		t.Fatalf("sub1 ledger %+v", led1)
+	}
+	var bytes1 int64
+	for _, n := range nfs {
+		if n.Sub == sub1 {
+			bytes1 += int64(len(AppendNotify(nil, n)))
+		}
+	}
+	if led1.NotifiedBytes != bytes1 {
+		t.Fatalf("sub1 ledger prices %d bytes, encoded %d", led1.NotifiedBytes, bytes1)
+	}
+	led2, _ := sm.Ledger(sub2)
+	if led2.Topics != 2 || led2.Notified != 2 || led2.LastEpoch != 5 {
+		t.Fatalf("sub2 ledger %+v", led2)
+	}
+
+	// A no-op epoch fires nothing and leaves ledgers untouched.
+	if nfs := sm.Publish(6, cur, cur, nil); len(nfs) != 0 {
+		t.Fatalf("no-op epoch produced %d notifications", len(nfs))
+	}
+	if led, _ := sm.Ledger(sub1); led != led1 {
+		t.Fatalf("no-op epoch moved the ledger: %+v vs %+v", led, led1)
+	}
+
+	// Unsubscribing removes the subscriber from future publishes.
+	if !sm.Unsubscribe(sub1) {
+		t.Fatal("unsubscribe of a live subscriber failed")
+	}
+	if sm.Unsubscribe(sub1) {
+		t.Fatal("double unsubscribe succeeded")
+	}
+	nfs = sm.Publish(7, prev, cur, changed)
+	for _, n := range nfs {
+		if n.Sub == sub1 {
+			t.Fatalf("unsubscribed subscriber still notified: %s", n)
+		}
+	}
+	if len(nfs) != 2 {
+		t.Fatalf("remaining subscriber got %d notifications, want 2", len(nfs))
+	}
+}
+
+// TestCanonTopics pins want-list canonicalization: sort into the protocol
+// order (kind, then parameter), drop duplicates.
+func TestCanonTopics(t *testing.T) {
+	in := []Topic{
+		{Kind: TopicThreshold, X: 3},
+		{Kind: TopicCoreness, Node: 9},
+		{Kind: TopicTopK, K: 5},
+		{Kind: TopicCoreness, Node: 2},
+		{Kind: TopicThreshold, X: 3},   // dup
+		{Kind: TopicCoreness, Node: 9}, // dup
+	}
+	want := []Topic{
+		{Kind: TopicCoreness, Node: 2},
+		{Kind: TopicCoreness, Node: 9},
+		{Kind: TopicTopK, K: 5},
+		{Kind: TopicThreshold, X: 3},
+	}
+	if got := canonTopics(in); !reflect.DeepEqual(got, want) {
+		t.Fatalf("canonTopics = %v, want %v", got, want)
+	}
+}
+
+// TestPublishMemoizesTopics checks the pubmanager half of the IPPS shape:
+// a topic named by many want-lists is evaluated once per epoch, so all its
+// subscribers see the identical change slice.
+func TestPublishMemoizesTopics(t *testing.T) {
+	prev := []float64{1, 2}
+	cur := []float64{1, 3}
+	sm := NewSubManager()
+	a := sm.Subscribe([]Topic{{Kind: TopicCoreness, Node: 1}})
+	b := sm.Subscribe([]Topic{{Kind: TopicCoreness, Node: 1}})
+	nfs := sm.Publish(1, prev, cur, []graph.NodeID{1})
+	if len(nfs) != 2 || nfs[0].Sub != a || nfs[1].Sub != b {
+		t.Fatalf("publish = %v", nfs)
+	}
+	if &nfs[0].Changes[0] != &nfs[1].Changes[0] {
+		t.Fatal("shared topic evaluated twice (distinct change slices)")
+	}
+}

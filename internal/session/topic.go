@@ -1,0 +1,203 @@
+package session
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"distkcore/internal/graph"
+)
+
+// TopicKind enumerates what a subscription watches. The numeric order is
+// the canonical topic order (coreness < topk < threshold), which is part of
+// the protocol: notifications within one subscriber's want-list fire in
+// this order, so transcripts are reproducible.
+type TopicKind byte
+
+const (
+	// TopicCoreness fires when β_T(Node) changes; the payload is that one
+	// change.
+	TopicCoreness TopicKind = iota
+	// TopicTopK fires when the set of the K highest-value nodes changes
+	// (ties broken by ascending node ID); the payload is the symmetric
+	// difference, ascending by node.
+	TopicTopK
+	// TopicThreshold fires when nodes cross X (β_T(v) ≥ X flips); the
+	// payload is the crossing nodes, ascending.
+	TopicThreshold
+)
+
+// Topic is one subscription subject. Exactly one of Node/K/X is meaningful,
+// selected by Kind; the zero fields make Topic comparable, so it keys the
+// per-epoch evaluation cache directly.
+type Topic struct {
+	Kind TopicKind
+	Node graph.NodeID // TopicCoreness
+	K    int          // TopicTopK
+	X    float64      // TopicThreshold
+}
+
+// ParseTopic parses the canonical string form: "coreness:v", "topk:k" or
+// "threshold:x".
+func ParseTopic(s string) (Topic, error) {
+	kind, arg, ok := strings.Cut(s, ":")
+	if !ok {
+		return Topic{}, fmt.Errorf("session: bad topic %q (want kind:arg)", s)
+	}
+	switch kind {
+	case "coreness":
+		v, err := strconv.Atoi(arg)
+		if err != nil || v < 0 {
+			return Topic{}, fmt.Errorf("session: bad coreness topic node %q", arg)
+		}
+		return Topic{Kind: TopicCoreness, Node: v}, nil
+	case "topk":
+		k, err := strconv.Atoi(arg)
+		if err != nil || k < 1 {
+			return Topic{}, fmt.Errorf("session: bad topk topic k %q", arg)
+		}
+		return Topic{Kind: TopicTopK, K: k}, nil
+	case "threshold":
+		x, err := strconv.ParseFloat(arg, 64)
+		if err != nil || math.IsNaN(x) || math.IsInf(x, 0) {
+			return Topic{}, fmt.Errorf("session: bad threshold topic %q", arg)
+		}
+		return Topic{Kind: TopicThreshold, X: x}, nil
+	default:
+		return Topic{}, fmt.Errorf("session: unknown topic kind %q (want coreness, topk or threshold)", kind)
+	}
+}
+
+// String returns the canonical form ParseTopic round-trips.
+func (t Topic) String() string {
+	switch t.Kind {
+	case TopicCoreness:
+		return "coreness:" + strconv.Itoa(t.Node)
+	case TopicTopK:
+		return "topk:" + strconv.Itoa(t.K)
+	case TopicThreshold:
+		return "threshold:" + strconv.FormatFloat(t.X, 'g', -1, 64)
+	default:
+		return fmt.Sprintf("topic(%d)", t.Kind)
+	}
+}
+
+// topicLess is the canonical topic order: by kind, then by the kind's
+// parameter.
+func topicLess(a, b Topic) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	switch a.Kind {
+	case TopicCoreness:
+		return a.Node < b.Node
+	case TopicTopK:
+		return a.K < b.K
+	default:
+		return a.X < b.X
+	}
+}
+
+// canonTopics sorts topics into canonical order and drops duplicates.
+func canonTopics(ts []Topic) []Topic {
+	out := append([]Topic(nil), ts...)
+	sort.Slice(out, func(i, j int) bool { return topicLess(out[i], out[j]) })
+	w := 0
+	for i, t := range out {
+		if i == 0 || t != out[i-1] {
+			out[w] = t
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// epochView evaluates topics against one epoch transition (prev → cur).
+// Construction is O(changed); each distinct topic is evaluated at most once
+// per epoch (the SubManager memoizes on top), and top-k sets are cached per
+// k because several subscribers commonly watch the same k.
+type epochView struct {
+	prev, cur []float64
+	changed   []graph.NodeID // bits differ, ascending
+	// sets caches top-k membership: key k for the prev vector, -k for cur.
+	sets map[int][]bool
+}
+
+func newEpochView(prev, cur []float64, changed []graph.NodeID) *epochView {
+	return &epochView{prev: prev, cur: cur, changed: changed, sets: map[int][]bool{}}
+}
+
+// eval returns the topic's change payload for this epoch; empty means the
+// topic does not fire.
+func (ev *epochView) eval(t Topic) []ValueChange {
+	switch t.Kind {
+	case TopicCoreness:
+		v := t.Node
+		if v < 0 || v >= len(ev.cur) {
+			return nil
+		}
+		ob, nb := math.Float64bits(ev.prev[v]), math.Float64bits(ev.cur[v])
+		if ob == nb {
+			return nil
+		}
+		return []ValueChange{{Node: v, OldBits: ob, NewBits: nb}}
+
+	case TopicTopK:
+		// Membership can change at nodes whose own value did not move (a
+		// riser can evict an unchanged node), so compare full top-k sets.
+		before, after := ev.topKSet(t.K, ev.prev), ev.topKSet(t.K, ev.cur)
+		var out []ValueChange
+		for v := range ev.cur {
+			if before[v] != after[v] {
+				out = append(out, ValueChange{Node: v,
+					OldBits: math.Float64bits(ev.prev[v]), NewBits: math.Float64bits(ev.cur[v])})
+			}
+		}
+		return out
+
+	case TopicThreshold:
+		// A node can cross x only by changing value, so the changed list is
+		// exhaustive (and already ascending).
+		var out []ValueChange
+		for _, v := range ev.changed {
+			if (ev.prev[v] >= t.X) != (ev.cur[v] >= t.X) {
+				out = append(out, ValueChange{Node: v,
+					OldBits: math.Float64bits(ev.prev[v]), NewBits: math.Float64bits(ev.cur[v])})
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// topKSet returns membership of the k highest-value nodes of b (value
+// descending, node ascending on ties), cached per (k, which vector) — the
+// prev set of epoch e is never the cur set of epoch e, so the cache keys on
+// the slice identity via separate calls per vector.
+func (ev *epochView) topKSet(k int, b []float64) []bool {
+	key := k
+	if len(b) > 0 && &b[0] == &ev.cur[0] {
+		key = -k // cur sets live under negated keys
+	}
+	if got, ok := ev.sets[key]; ok {
+		return got
+	}
+	idx := make([]graph.NodeID, len(b))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		if b[idx[i]] != b[idx[j]] {
+			return b[idx[i]] > b[idx[j]]
+		}
+		return idx[i] < idx[j]
+	})
+	set := make([]bool, len(b))
+	for i := 0; i < k && i < len(idx); i++ {
+		set[idx[i]] = true
+	}
+	ev.sets[key] = set
+	return set
+}

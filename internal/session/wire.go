@@ -1,0 +1,247 @@
+package session
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"distkcore/internal/dist"
+	"distkcore/internal/graph"
+	"distkcore/internal/shard"
+)
+
+// Wire bodies of the session records (DESIGN.md §10). Like the rest of the
+// frame codec these decoders run on bytes straight off a socket: hostile
+// lengths and truncations fail cleanly, never panic, and every decode
+// demands full consumption so trailing garbage is an error, not a shrug.
+
+// ValueChange is one node whose β_T moved across an epoch, as exact float
+// bit patterns (the session's unit of change, of notification payloads and
+// of the reconverge record).
+type ValueChange struct {
+	Node             graph.NodeID
+	OldBits, NewBits uint64
+}
+
+// Old returns the pre-epoch value.
+func (c ValueChange) Old() float64 { return math.Float64frombits(c.OldBits) }
+
+// New returns the post-epoch value.
+func (c ValueChange) New() float64 { return math.Float64frombits(c.NewBits) }
+
+// AppendDeltaPush appends a DeltaPush body: uvarint epoch, then the
+// shard delta encoding (move budget + ops). Epoch 0 from a client means
+// "assign the next epoch"; coordinator→worker the epoch is always concrete.
+func AppendDeltaPush(dst []byte, epoch, moveBudget int, d dist.GraphDelta) []byte {
+	dst = binary.AppendUvarint(dst, uint64(epoch))
+	return shard.AppendDelta(dst, moveBudget, d)
+}
+
+// DecodeDeltaPush decodes a DeltaPush body, requiring full consumption.
+func DecodeDeltaPush(src []byte) (epoch, moveBudget int, d dist.GraphDelta, err error) {
+	e, k := binary.Uvarint(src)
+	if k <= 0 {
+		return 0, 0, d, fmt.Errorf("session: truncated delta push (epoch)")
+	}
+	moveBudget, d, n, err := shard.DecodeDelta(src[k:])
+	if err != nil {
+		return 0, 0, dist.GraphDelta{}, err
+	}
+	if k+n != len(src) {
+		return 0, 0, dist.GraphDelta{}, fmt.Errorf("session: delta push carries %d trailing bytes", len(src)-k-n)
+	}
+	return int(e), moveBudget, d, nil
+}
+
+// Reconverge is a worker's epoch reply: the post-churn graph fingerprint
+// and rebalanced partition digest it arrived at, plus the changed values of
+// the shard it owns after the rebalance, ascending by node.
+type Reconverge struct {
+	Epoch      int
+	GraphHash  uint64
+	PartDigest uint64
+	Changes    []ValueChange
+}
+
+// AppendReconverge appends the wire encoding of r to dst.
+func AppendReconverge(dst []byte, r Reconverge) []byte {
+	dst = binary.AppendUvarint(dst, uint64(r.Epoch))
+	dst = binary.LittleEndian.AppendUint64(dst, r.GraphHash)
+	dst = binary.LittleEndian.AppendUint64(dst, r.PartDigest)
+	return appendChanges(dst, r.Changes)
+}
+
+// DecodeReconverge decodes a Reconverge body, requiring full consumption.
+func DecodeReconverge(src []byte) (Reconverge, error) {
+	var r Reconverge
+	c := cursor{src: src}
+	r.Epoch = int(c.uvarint())
+	r.GraphHash = c.u64()
+	r.PartDigest = c.u64()
+	r.Changes = c.changes()
+	if err := c.done("reconverge"); err != nil {
+		return Reconverge{}, err
+	}
+	return r, nil
+}
+
+// appendChanges appends uvarint count then (uvarint node, old bits, new
+// bits) per change.
+func appendChanges(dst []byte, chs []ValueChange) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(chs)))
+	for _, ch := range chs {
+		dst = binary.AppendUvarint(dst, uint64(ch.Node))
+		dst = binary.LittleEndian.AppendUint64(dst, ch.OldBits)
+		dst = binary.LittleEndian.AppendUint64(dst, ch.NewBits)
+	}
+	return dst
+}
+
+// AppendSubscribe appends a Subscribe request body: uvarint topic count,
+// then each topic's canonical string. (The reply body is a bare uvarint
+// subscriber ID.)
+func AppendSubscribe(dst []byte, topics []Topic) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(topics)))
+	for _, t := range topics {
+		s := t.String()
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// DecodeSubscribe decodes a Subscribe request body, requiring full
+// consumption and well-formed topics.
+func DecodeSubscribe(src []byte) ([]Topic, error) {
+	c := cursor{src: src}
+	cnt := c.uvarint()
+	if c.err == nil && cnt > uint64(len(src)) {
+		c.err = fmt.Errorf("topic count %d exceeds payload", cnt)
+	}
+	topics := make([]Topic, 0, cnt)
+	for i := uint64(0); i < cnt && c.err == nil; i++ {
+		t, err := ParseTopic(c.str())
+		if c.err == nil && err != nil {
+			c.err = err
+		}
+		topics = append(topics, t)
+	}
+	if err := c.done("subscribe"); err != nil {
+		return nil, err
+	}
+	return topics, nil
+}
+
+// AppendNotify appends the wire encoding of n to dst: subscriber ID, epoch,
+// topic string, changes.
+func AppendNotify(dst []byte, n Notification) []byte {
+	dst = binary.AppendUvarint(dst, uint64(n.Sub))
+	dst = binary.AppendUvarint(dst, uint64(n.Epoch))
+	s := n.Topic.String()
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	dst = append(dst, s...)
+	return appendChanges(dst, n.Changes)
+}
+
+// DecodeNotify decodes a Notify body, requiring full consumption.
+func DecodeNotify(src []byte) (Notification, error) {
+	var n Notification
+	c := cursor{src: src}
+	n.Sub = int(c.uvarint())
+	n.Epoch = int(c.uvarint())
+	t, err := ParseTopic(c.str())
+	if c.err == nil && err != nil {
+		c.err = err
+	}
+	n.Topic = t
+	n.Changes = c.changes()
+	if err := c.done("notify"); err != nil {
+		return Notification{}, err
+	}
+	return n, nil
+}
+
+// cursor walks a record body latching the first error, so the decoders
+// above read field after field without per-field plumbing (the codec
+// package's decoder, re-stated here for session bodies).
+type cursor struct {
+	src []byte
+	n   int
+	err error
+}
+
+func (c *cursor) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	u, k := binary.Uvarint(c.src[c.n:])
+	if k <= 0 {
+		c.err = fmt.Errorf("truncated uvarint at offset %d", c.n)
+		return 0
+	}
+	c.n += k
+	return u
+}
+
+func (c *cursor) u64() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.src[c.n:]) < 8 {
+		c.err = fmt.Errorf("truncated word at offset %d", c.n)
+		return 0
+	}
+	u := binary.LittleEndian.Uint64(c.src[c.n:])
+	c.n += 8
+	return u
+}
+
+func (c *cursor) str() string {
+	l := c.uvarint()
+	if c.err != nil {
+		return ""
+	}
+	// Compare in uint64: a hostile length near 2^64 must not wrap negative
+	// through int and slip past the bounds check into a panic.
+	if l > uint64(len(c.src)-c.n) {
+		c.err = fmt.Errorf("truncated string at offset %d", c.n)
+		return ""
+	}
+	s := string(c.src[c.n : c.n+int(l)])
+	c.n += int(l)
+	return s
+}
+
+func (c *cursor) changes() []ValueChange {
+	cnt := c.uvarint()
+	if c.err != nil {
+		return nil
+	}
+	// Every change occupies at least 17 bytes (1-byte node uvarint + two
+	// words), so a larger count is a lie about bytes that cannot be there.
+	if cnt > uint64(len(c.src)-c.n)/17 {
+		c.err = fmt.Errorf("change count %d exceeds payload", cnt)
+		return nil
+	}
+	chs := make([]ValueChange, 0, cnt)
+	for i := uint64(0); i < cnt && c.err == nil; i++ {
+		var ch ValueChange
+		ch.Node = graph.NodeID(c.uvarint())
+		ch.OldBits = c.u64()
+		ch.NewBits = c.u64()
+		chs = append(chs, ch)
+	}
+	return chs
+}
+
+// done finalizes a decode: any latched error or unconsumed trailing bytes
+// fail it.
+func (c *cursor) done(what string) error {
+	if c.err != nil {
+		return fmt.Errorf("session: bad %s record: %w", what, c.err)
+	}
+	if c.n != len(c.src) {
+		return fmt.Errorf("session: %s record carries %d trailing bytes", what, len(c.src)-c.n)
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package session
+
+import (
+	"fmt"
+	"math"
+
+	"distkcore/internal/codec"
+	"distkcore/internal/dynamic"
+	"distkcore/internal/graph"
+	net "distkcore/internal/net"
+	"distkcore/internal/shard"
+)
+
+// WorkerState is the worker side of a session after its epoch-0 run: the
+// full graph and assignment (like net.Worker, every worker holds the whole
+// graph and owns one shard of it), a dynamic.Maintainer as the incremental
+// oracle, and the digest chain. Drive it with ServeEpochs on the same
+// connection the run used.
+type WorkerState struct {
+	c      *net.Conn
+	g      *graph.Graph
+	assign []int
+	shard  int
+	p      int
+	part   shard.Partitioner
+	m      *dynamic.Maintainer
+	prev   []float64 // β_T bits at the last sealed epoch
+	epoch  int
+	chain  uint64
+}
+
+// NewWorkerState builds the session state for shard shardIdx of p over c:
+// g and assign are the epoch-0 (post-run) inputs, T the round budget, part
+// the partitioner whose Rebalance every epoch reruns. runB, when non-nil,
+// is the run's result vector; the fresh Maintainer must agree with it bit
+// for bit on this worker's own nodes, or the session is refused — the
+// incremental oracle only matches the elimination protocol exactly under
+// Λ = ℝ with exactly summable weights (unit weights qualify), and a
+// session whose epochs could drift from fresh runs must fail at open, not
+// at some later digest check.
+func NewWorkerState(c *net.Conn, g *graph.Graph, assign []int, shardIdx, p, T int, part shard.Partitioner, runB []float64) (*WorkerState, error) {
+	n := g.N()
+	switch {
+	case len(assign) != n:
+		return nil, fmt.Errorf("session: assignment covers %d nodes, graph has %d", len(assign), n)
+	case p < 1 || shardIdx < 0 || shardIdx >= p:
+		return nil, fmt.Errorf("session: bad shard index %d of %d", shardIdx, p)
+	case part == nil:
+		return nil, fmt.Errorf("session: worker needs the partitioner for epoch rebalances")
+	case T < 1:
+		return nil, fmt.Errorf("session: round budget %d", T)
+	}
+	m := dynamic.New(g, T)
+	b := m.B()
+	if runB != nil {
+		if len(runB) != n {
+			return nil, fmt.Errorf("session: run values cover %d nodes, graph has %d", len(runB), n)
+		}
+		for v := 0; v < n; v++ {
+			if assign[v] == shardIdx && math.Float64bits(b[v]) != math.Float64bits(runB[v]) {
+				return nil, fmt.Errorf("session: incremental oracle disagrees with the run at node %d (%v vs %v); sessions need Λ = ℝ and exactly summable weights", v, b[v], runB[v])
+			}
+		}
+	}
+	return &WorkerState{
+		c: c, g: g, assign: append([]int(nil), assign...),
+		shard: shardIdx, p: p, part: part, m: m,
+		prev: append([]float64(nil), b...),
+	}, nil
+}
+
+// ServeEpochs runs the worker's session loop until a Bye or an error. The
+// first record must be the coordinator's epoch-0 stamp, which seals the run
+// into the digest chain; then every DeltaPush advances one epoch:
+//
+//	apply the batch (canonical order) → Maintainer frontier repair →
+//	incremental Rebalance → ship own-shard changed values → verify and
+//	echo the coordinator's stamp → commit.
+//
+// Any verification failure sends an error record and returns the error —
+// sessions choose determinism over availability exactly like runs do.
+// Waits for the next epoch go through AwaitRecord (idleness is not death);
+// the intra-epoch stamp read is deadline-armed when the connection has an
+// IO timeout, because mid-epoch silence is.
+func (w *WorkerState) ServeEpochs() error {
+	if err := w.sealEpochZero(); err != nil {
+		w.c.SendError(err)
+		return err
+	}
+	for {
+		typ, body, err := w.c.AwaitRecord()
+		if err != nil {
+			return fmt.Errorf("session: worker read: %w", err)
+		}
+		switch typ {
+		case net.RecBye:
+			return nil
+		case net.RecDeltaPush:
+			if err := w.epochStep(body); err != nil {
+				w.c.SendError(err)
+				return err
+			}
+		default:
+			err := fmt.Errorf("session: unexpected record type %d at worker between epochs", typ)
+			w.c.SendError(err)
+			return err
+		}
+	}
+}
+
+// sealEpochZero reads, verifies and echoes the epoch-0 stamp.
+func (w *WorkerState) sealEpochZero() error {
+	typ, body, err := w.c.AwaitRecord()
+	if err != nil {
+		return fmt.Errorf("session: worker awaiting epoch-0 stamp: %w", err)
+	}
+	if typ != net.RecValuesDigest {
+		return fmt.Errorf("session: expected epoch-0 stamp, got record type %d", typ)
+	}
+	st, _, err := codec.DecodeStamp(body)
+	if err != nil {
+		return err
+	}
+	if st.Epoch != 0 || st.Changed != 0 {
+		return fmt.Errorf("session: epoch-0 stamp claims epoch %d with %d changes", st.Epoch, st.Changed)
+	}
+	if err := w.verifyStamp(st, 0, w.g.Fingerprint(), shard.PartitionDigest(w.assign), ValuesDigest(w.prev)); err != nil {
+		return err
+	}
+	w.chain = st.ChainDigest
+	return w.echoStamp(st)
+}
+
+// epochStep advances one epoch from a DeltaPush body.
+func (w *WorkerState) epochStep(body []byte) error {
+	epoch, budget, d, err := DecodeDeltaPush(body)
+	if err != nil {
+		return err
+	}
+	if epoch != w.epoch+1 {
+		return fmt.Errorf("session: delta push for epoch %d, worker at %d", epoch, w.epoch)
+	}
+	g2, err := d.Apply(w.g)
+	if err != nil {
+		return fmt.Errorf("session: epoch %d delta: %w", epoch, err)
+	}
+	if err := w.m.ApplyDelta(d); err != nil {
+		// The engine-side Apply succeeded, so the oracle must too; disagreeing
+		// means forked state, which kills the session.
+		return fmt.Errorf("session: epoch %d oracle: %w", epoch, err)
+	}
+	next := shard.RebalanceAssign(w.part, g2, w.p, w.assign, d, budget)
+	cur := w.m.B()
+
+	// The full change set (for stamp cross-checks) and this worker's slice
+	// of it under the POST-rebalance ownership (what it ships).
+	var own []ValueChange
+	changed := 0
+	for v := 0; v < len(cur); v++ {
+		ob, nb := math.Float64bits(w.prev[v]), math.Float64bits(cur[v])
+		if ob == nb {
+			continue
+		}
+		changed++
+		if next[v] == w.shard {
+			own = append(own, ValueChange{Node: v, OldBits: ob, NewBits: nb})
+		}
+	}
+	gh, pd := g2.Fingerprint(), shard.PartitionDigest(next)
+	rec := AppendReconverge(nil, Reconverge{Epoch: epoch, GraphHash: gh, PartDigest: pd, Changes: own})
+	if err := w.c.WriteRecord(net.RecReconverge, rec); err != nil {
+		return err
+	}
+	if err := w.c.Flush(); err != nil {
+		return err
+	}
+
+	// Mid-epoch the coordinator owes us a stamp promptly: deadline-armed read.
+	typ, sb, err := w.c.ReadRecord()
+	if err != nil {
+		return fmt.Errorf("session: worker awaiting epoch %d stamp: %w", epoch, err)
+	}
+	if typ == net.RecBye {
+		return fmt.Errorf("session: coordinator said goodbye mid-epoch %d", epoch)
+	}
+	if typ != net.RecValuesDigest {
+		return fmt.Errorf("session: expected epoch %d stamp, got record type %d", epoch, typ)
+	}
+	st, _, err := codec.DecodeStamp(sb)
+	if err != nil {
+		return err
+	}
+	if st.Epoch != epoch {
+		return fmt.Errorf("session: stamp seals epoch %d, worker at %d", st.Epoch, epoch)
+	}
+	if st.Changed != changed {
+		return fmt.Errorf("session: epoch %d stamp counts %d changes, oracle saw %d", epoch, st.Changed, changed)
+	}
+	if err := w.verifyStamp(st, w.chain, gh, pd, ValuesDigest(cur)); err != nil {
+		return err
+	}
+	if err := w.echoStamp(st); err != nil {
+		return err
+	}
+
+	// Commit: the epoch is sealed on both sides.
+	w.g, w.assign = g2, next
+	copy(w.prev, cur)
+	w.epoch, w.chain = epoch, st.ChainDigest
+	return nil
+}
+
+// verifyStamp checks a stamp's digests against locally derived state and
+// advances nothing.
+func (w *WorkerState) verifyStamp(st codec.Stamp, prevChain, gh, pd, vd uint64) error {
+	switch {
+	case st.GraphHash != gh:
+		return fmt.Errorf("session: epoch %d graph fingerprint mismatch (stamp %#x, worker %#x)", st.Epoch, st.GraphHash, gh)
+	case st.PartDigest != pd:
+		return fmt.Errorf("session: epoch %d partition digest mismatch (stamp %#x, worker %#x)", st.Epoch, st.PartDigest, pd)
+	case st.ValuesDigest != vd:
+		return fmt.Errorf("session: epoch %d values digest mismatch (stamp %#x, worker %#x)", st.Epoch, st.ValuesDigest, vd)
+	}
+	if chain := ChainNext(prevChain, gh, pd, vd); st.ChainDigest != chain {
+		return fmt.Errorf("session: epoch %d chain digest mismatch (stamp %#x, worker %#x)", st.Epoch, st.ChainDigest, chain)
+	}
+	return nil
+}
+
+// echoStamp returns the verified stamp to the coordinator.
+func (w *WorkerState) echoStamp(st codec.Stamp) error {
+	if err := w.c.WriteRecord(net.RecValuesDigest, codec.AppendStamp(nil, st)); err != nil {
+		return err
+	}
+	return w.c.Flush()
+}
+
+// Epoch returns the last sealed epoch.
+func (w *WorkerState) Epoch() int { return w.epoch }
+
+// ChainDigest returns the chain digest of the last sealed epoch.
+func (w *WorkerState) ChainDigest() uint64 { return w.chain }
+
+// B returns a copy of the worker's full value vector at the last sealed
+// epoch.
+func (w *WorkerState) B() []float64 { return append([]float64(nil), w.prev...) }
+
+// Stats exposes the oracle's incremental-work counters.
+func (w *WorkerState) Stats() dynamic.Stats { return w.m.Stats }
