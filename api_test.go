@@ -284,3 +284,70 @@ func TestSessionAPI(t *testing.T) {
 		t.Fatalf("ParseTopic: %v %v", tp, err)
 	}
 }
+
+// TestTracingAPI exercises the observability facade: a traced run yields
+// identical values, a populated phase breakdown, and a break diagnosis
+// type that unwraps from session errors.
+func TestTracingAPI(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 3, 2)
+	T := distkcore.RoundsFor(g.N(), 0.5)
+
+	plain, pm := distkcore.RunDistributedOn(g, T, distkcore.ShardedEngine(3, distkcore.GreedyPartitioner()))
+	tr := distkcore.NewTracer()
+	eng := distkcore.TracedEngine(distkcore.ShardedEngine(3, distkcore.GreedyPartitioner()), tr)
+	traced, tm := distkcore.RunDistributedOn(g, T, eng)
+	if pm != tm {
+		t.Fatalf("tracing changed metrics: %+v vs %+v", pm, tm)
+	}
+	for v := range plain.B {
+		if math.Float64bits(plain.B[v]) != math.Float64bits(traced.B[v]) {
+			t.Fatalf("tracing changed node %d: %v vs %v", v, plain.B[v], traced.B[v])
+		}
+	}
+	rt := tr.Trace()
+	if len(rt.Spans) == 0 {
+		t.Fatal("traced run collected no spans")
+	}
+	tot := rt.PhaseTotals()
+	seen := map[string]bool{}
+	for _, pt := range tot {
+		seen[pt.Phase] = true
+	}
+	if !seen["step"] || !seen["deliver"] {
+		t.Fatalf("phase totals missing core phases: %+v", tot)
+	}
+	if rt.Transcript() == "" {
+		t.Fatal("empty transcript")
+	}
+	// TracedEngine with a nil tracer is the identity.
+	if distkcore.TracedEngine(distkcore.SequentialEngine(), nil) == nil {
+		t.Fatal("nil tracer dropped the engine")
+	}
+
+	// Session tracing rides SessionOptions.Trace; the session's tracer also
+	// sees the per-epoch phases.
+	str := distkcore.NewTracer()
+	s, err := distkcore.OpenSession(g, distkcore.SessionOptions{
+		P: 2, Rounds: T, Part: distkcore.GreedyPartitioner(), Trace: str,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Push(distkcore.RandomChurn(g, 10, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	sseen := map[string]bool{}
+	for _, pt := range str.Trace().PhaseTotals() {
+		sseen[pt.Phase] = true
+	}
+	if !sseen["epoch"] || !sseen["repair"] {
+		t.Fatalf("session trace missing epoch phases: %v", sseen)
+	}
+	if s.Cause() != nil {
+		t.Fatalf("live session reports a BreakCause: %+v", s.Cause())
+	}
+	if st := s.Stat(); st.Epoch != 1 || st.Pushes != 1 || st.Broken {
+		t.Fatalf("session stat wrong: %+v", st)
+	}
+}

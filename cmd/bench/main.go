@@ -1,12 +1,13 @@
 // Command bench runs the substrate and engine benchmarks that track the
 // ROADMAP performance trajectory and writes the results as JSON. CI runs it
-// on every push and uploads the file as an artifact (BENCH_PR6.json), so the
+// on every push and uploads the file as an artifact (BENCH_PR7.json), so the
 // repo accumulates comparable data points over time.
 //
 // Usage:
 //
-//	go run ./cmd/bench -out BENCH_PR6.json -label post-sessions
-//	go run ./cmd/bench -against baseline.json -out BENCH_PR6.json
+//	go run ./cmd/bench -out BENCH_PR7.json -label post-observability
+//	go run ./cmd/bench -against baseline.json -out BENCH_PR7.json
+//	go run ./cmd/bench -trace bench-trace.json
 //
 // The benchmark set mirrors BenchmarkEngines (all four execution engines on
 // the same BarabasiAlbert coreness run — the net rows measure the wire
@@ -14,11 +15,22 @@
 // micro-benchmarks (graph build, delivery loop) that the CSR/arena refactor
 // targets, the churn rows — what one churn event costs as a fresh
 // recompute, as an incremental dynamic.Maintainer repair, and as a churned
-// (delta + rebalance) sharded cluster run — and the session row: one
+// (delta + rebalance) sharded cluster run — and the session rows: one
 // steady-state delta epoch through a hot 4-worker session (connections,
 // partitions and oracles all warm), the PR 6 path that replaces the PR 5
 // churn-then-rerun cycle. With -against, a previous report is embedded as
 // "baseline" and per-benchmark speedups are printed and recorded.
+//
+// Rows with a tracing seam also carry a "phases" breakdown (PR 7): after
+// the timed (untraced) iterations, the same workload runs once more on an
+// internal/obs tracer and the per-phase micros/bytes/span totals of that
+// run are recorded on the row. The timed numbers are never contaminated —
+// attribution is a separate run — and the bytes columns are deterministic,
+// so the report says *where* an engine's wire bytes and wall time go (the
+// net rows expose the coordinator relay funnel; the session rows split an
+// epoch into repair, rebalance and publish). -trace additionally exports
+// the whole attribution pass — every engine plus the session epochs, one
+// clock — as Chrome trace-event JSON.
 package main
 
 import (
@@ -29,22 +41,27 @@ import (
 	"runtime"
 	"testing"
 
+	"distkcore/internal/cliutil"
 	"distkcore/internal/core"
 	"distkcore/internal/dist"
 	"distkcore/internal/dynamic"
 	"distkcore/internal/graph"
 	dnet "distkcore/internal/net"
+	"distkcore/internal/obs"
 	"distkcore/internal/session"
 	"distkcore/internal/shard"
 )
 
 // Result is one benchmark row (ns/op, B/op, allocs/op as in `go test -bench`).
+// Phases, when present, is the per-phase breakdown of one traced run of the
+// same workload (obs.PhaseTotal keys, shared with cmd/cluster's report).
 type Result struct {
-	Name     string  `json:"name"`
-	Iters    int     `json:"iterations"`
-	NsPerOp  float64 `json:"ns_op"`
-	BytesOp  int64   `json:"b_op"`
-	AllocsOp int64   `json:"allocs_op"`
+	Name     string           `json:"name"`
+	Iters    int              `json:"iterations"`
+	NsPerOp  float64          `json:"ns_op"`
+	BytesOp  int64            `json:"b_op"`
+	AllocsOp int64            `json:"allocs_op"`
+	Phases   []obs.PhaseTotal `json:"phases,omitempty"`
 }
 
 // Report is the file cmd/bench writes. Baseline, when present, is an earlier
@@ -83,10 +100,11 @@ func (f *flood) Round(c *dist.Ctx, inbox []dist.Message) {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR6.json", "output JSON path ('-' for stdout)")
-		label   = flag.String("label", "current", "label recorded in the report")
-		n       = flag.Int("n", 10_000, "BarabasiAlbert node count for the engine workload")
-		against = flag.String("against", "", "previous report to embed as baseline")
+		out      = flag.String("out", "BENCH_PR7.json", "output JSON path ('-' for stdout)")
+		label    = flag.String("label", "current", "label recorded in the report")
+		n        = flag.Int("n", 10_000, "BarabasiAlbert node count for the engine workload")
+		against  = flag.String("against", "", "previous report to embed as baseline")
+		traceOut = flag.String("trace", "", cliutil.TraceUsage)
 	)
 	flag.Parse()
 
@@ -101,6 +119,10 @@ func main() {
 		Nodes:  *n,
 		Rounds: T,
 	}
+	// One tracer spans every attribution run, so -trace exports the whole
+	// pass (all engines, then the session epochs) on a single clock; each
+	// row's phase totals are the delta over its own attribution run.
+	tr := obs.NewTracer()
 
 	unixNet := dnet.NewEngine(4, shard.Greedy{})
 	unixNet.Transport = dnet.TransportUnix
@@ -122,6 +144,9 @@ func main() {
 				core.RunDistributed(g, core.Options{Rounds: T}, c.eng)
 			}
 		})
+		rep.attrib(c.name, tr, func() {
+			core.RunDistributed(g, core.Options{Rounds: T}, cliutil.Traced(c.eng, tr))
+		})
 	}
 
 	edges := g.Edges()
@@ -140,6 +165,9 @@ func main() {
 		for i := 0; i < b.N; i++ {
 			dist.SeqEngine{}.Run(fg, func(graph.NodeID) dist.Program { return &flood{rounds: 20} }, 25)
 		}
+	})
+	rep.attrib("dist/deliver-flood", tr, func() {
+		dist.SeqEngine{Trace: tr}.Run(fg, func(graph.NodeID) dist.Program { return &flood{rounds: 20} }, 25)
 	})
 
 	// Churn trajectory (PR 5): the three ways to absorb one edge change.
@@ -177,6 +205,12 @@ func main() {
 			core.RunDistributed(g, core.Options{Rounds: T}, eng)
 		}
 	})
+	rep.attrib("churn/rebalanced-cluster", tr, func() {
+		eng := shard.NewEngine(4, shard.Greedy{})
+		eng.SetTracer(tr)
+		eng.Churn(delta, 0)
+		core.RunDistributed(g, core.Options{Rounds: T}, eng)
+	})
 
 	// Session steady state (PR 6): one delta epoch through a hot 4-worker
 	// session — the cluster is opened once outside the timer; each
@@ -212,6 +246,31 @@ func main() {
 		})
 	}
 
+	// Phase attribution for the session rows runs on a second, traced
+	// session (the timed one stays untraced): one epoch per batch size,
+	// split into repair / rebalance / publish / epoch spans.
+	tsess, err := session.Open(g, session.Options{P: 4, Rounds: T, Part: shard.Greedy{}, Trace: tr})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	tcur := g
+	for _, ops := range []int{32, 512} {
+		ops := ops
+		rep.attrib(fmt.Sprintf("session/epoch-%dops", ops), tr, func() {
+			d := dist.RandomChurn(tcur, ops, int64(1000+ops))
+			if _, err := tsess.Push(d, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: session push:", err)
+				os.Exit(1)
+			}
+			if tcur, err = d.Apply(tcur); err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+		})
+	}
+	tsess.Close()
+
 	if *against != "" {
 		raw, err := os.ReadFile(*against)
 		if err != nil {
@@ -244,21 +303,17 @@ func main() {
 		}
 	}
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
+	if err := cliutil.WriteTrace(*traceOut, tr); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	enc = append(enc, '\n')
-	if *out == "-" {
-		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := obs.WriteReportFile(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "bench: wrote", *out)
+	if *out != "-" {
+		fmt.Fprintln(os.Stderr, "bench: wrote", *out)
+	}
 }
 
 // add runs one benchmark with allocation reporting and records the row.
@@ -275,4 +330,43 @@ func (r *Report) add(name string, f func(*testing.B)) {
 		BytesOp:  res.AllocedBytesPerOp(),
 		AllocsOp: res.AllocsPerOp(),
 	})
+}
+
+// attrib runs one traced pass of a row's workload and attaches the phase
+// totals that pass added to tr to the row with the given name. tr is shared
+// across every attribution call (so -trace can export one merged timeline);
+// the per-row breakdown is the before/after delta.
+func (r *Report) attrib(name string, tr *obs.Tracer, run func()) {
+	before := tr.Trace().PhaseTotals()
+	run()
+	after := tr.Trace().PhaseTotals()
+	d := phaseDelta(before, after)
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			r.Results[i].Phases = d
+			return
+		}
+	}
+}
+
+// phaseDelta subtracts the before totals from the after totals per phase,
+// keeping after's (canonical) phase order and dropping phases that saw no
+// new spans.
+func phaseDelta(before, after []obs.PhaseTotal) []obs.PhaseTotal {
+	prev := make(map[string]obs.PhaseTotal, len(before))
+	for _, p := range before {
+		prev[p.Phase] = p
+	}
+	var out []obs.PhaseTotal
+	for _, p := range after {
+		b := prev[p.Phase]
+		p.Micros -= b.Micros
+		p.Bytes -= b.Bytes
+		p.Count -= b.Count
+		p.Spans -= b.Spans
+		if p.Spans > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -33,7 +33,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -49,6 +48,7 @@ import (
 	"distkcore/internal/core"
 	"distkcore/internal/dist"
 	dnet "distkcore/internal/net"
+	"distkcore/internal/obs"
 	"distkcore/internal/quantize"
 	"distkcore/internal/session"
 	"distkcore/internal/shard"
@@ -69,6 +69,8 @@ func main() {
 		runPush(os.Args[2:])
 	case "sub":
 		runSub(os.Args[2:])
+	case "stat":
+		runStat(os.Args[2:])
 	default:
 		usage()
 	}
@@ -77,10 +79,11 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cluster worker -listen unix:/path.sock|tcp:host:port [-session]
-  cluster coord  (-workers addr,addr,... | -spawn P) -gen ba -n 10000 [-seed S] [-eps E | -T T] [-lambda L] [-part NAME] [-churn OPS[:SEED] [-budget M]] [-verify] [-json FILE]
-  cluster serve  (-workers addr,addr,... | -spawn P) -control unix:/path.sock -gen ba -n 10000 [-seed S] [-eps E | -T T] [-part NAME]
+  cluster coord  (-workers addr,addr,... | -spawn P) -gen ba -n 10000 [-seed S] [-eps E | -T T] [-lambda L] [-part NAME] [-churn OPS[:SEED] [-budget M]] [-verify] [-json FILE] [-trace FILE]
+  cluster serve  (-workers addr,addr,... | -spawn P) -control unix:/path.sock -gen ba -n 10000 [-seed S] [-eps E | -T T] [-part NAME] [-trace FILE] [-debug-addr host:port]
   cluster push   -connect unix:/path.sock -gen ba -n 10000 [-seed S] [-eps E | -T T] -epochs E [-ops N] [-churnseed S] [-budget M] [-verify] [-shutdown]
-  cluster sub    -connect unix:/path.sock -topics coreness:5,topk:3 [-count N]`)
+  cluster sub    -connect unix:/path.sock -topics coreness:5,topk:3 [-count N]
+  cluster stat   -connect unix:/path.sock`)
 	os.Exit(2)
 }
 
@@ -210,19 +213,20 @@ func parseProto(spec string) (T int, err error) {
 func runCoord(args []string) {
 	fs := flag.NewFlagSet("cluster coord", flag.ExitOnError)
 	var (
-		workers = fs.String("workers", "", "comma-separated worker addresses (unix:/path or tcp:host:port)")
-		spawn   = fs.Int("spawn", 0, "spawn P worker subprocesses over unix sockets instead of dialing -workers")
-		gen     = fs.String("gen", "ba", "graph generator (ba, er, rmat, grid, caveman, planted)")
-		n       = fs.Int("n", 10000, "node count")
-		seed    = fs.Int64("seed", 7, "generator seed")
-		eps     = fs.Float64("eps", 0.5, "approximation parameter (sets T = ceil(log_{1+eps} n))")
-		tFlag   = fs.Int("T", 0, "explicit round budget (overrides -eps)")
-		lambda  = fs.Float64("lambda", 0, "quantize transmitted values to powers of (1+lambda); 0 means Λ = ℝ")
-		partN   = fs.String("part", "greedy", "partitioner: hash, range or greedy")
-		churn   = fs.String("churn", "", cliutil.ChurnUsage)
-		budget  = fs.Int("budget", 0, "rebalance move budget under -churn (0 = whole frontier)")
-		verify  = fs.Bool("verify", false, "run the sequential engine locally and demand byte-identical Metrics and values")
-		jsonOut = fs.String("json", "", "write a JSON run report to this file")
+		workers  = fs.String("workers", "", "comma-separated worker addresses (unix:/path or tcp:host:port)")
+		spawn    = fs.Int("spawn", 0, "spawn P worker subprocesses over unix sockets instead of dialing -workers")
+		gen      = fs.String("gen", "ba", "graph generator (ba, er, rmat, grid, caveman, planted)")
+		n        = fs.Int("n", 10000, "node count")
+		seed     = fs.Int64("seed", 7, "generator seed")
+		eps      = fs.Float64("eps", 0.5, "approximation parameter (sets T = ceil(log_{1+eps} n))")
+		tFlag    = fs.Int("T", 0, "explicit round budget (overrides -eps)")
+		lambda   = fs.Float64("lambda", 0, "quantize transmitted values to powers of (1+lambda); 0 means Λ = ℝ")
+		partN    = fs.String("part", "greedy", "partitioner: hash, range or greedy")
+		churn    = fs.String("churn", "", cliutil.ChurnUsage)
+		budget   = fs.Int("budget", 0, "rebalance move budget under -churn (0 = whole frontier)")
+		verify   = fs.Bool("verify", false, "run the sequential engine locally and demand byte-identical Metrics and values")
+		jsonOut  = fs.String("json", "", "write a JSON run report to this file")
+		traceOut = fs.String("trace", "", cliutil.TraceUsage)
 	)
 	fs.Parse(args)
 
@@ -312,6 +316,13 @@ func runCoord(args []string) {
 			defer conns[i].Close()
 		}
 
+		// The tracer sees the coordinator's side only — barrier waits, frame
+		// relays and the funnel's flow matrix; worker timelines live in the
+		// worker processes.
+		var tracer *obs.Tracer
+		if *traceOut != "" {
+			tracer = obs.NewTracer()
+		}
 		start := time.Now()
 		met, rep, err := dnet.RunCoordinator(conns, dnet.Spec{
 			P:          p,
@@ -325,6 +336,7 @@ func runCoord(args []string) {
 			WantValues: true,
 			Delta:      delta,
 			MoveBudget: *budget,
+			Trace:      tracer,
 		})
 		if err != nil {
 			return err
@@ -372,7 +384,10 @@ func runCoord(args []string) {
 			fmt.Println("  verify: Metrics and all surviving numbers byte-identical to the sequential engine ✓")
 		}
 
-		return writeReport(*jsonOut, spec, p, part.Name(), T, met, sm, delta.Len(), cm, verified, elapsed)
+		if err := cliutil.WriteTrace(*traceOut, tracer); err != nil {
+			return err
+		}
+		return writeReport(*jsonOut, spec, p, part.Name(), T, met, sm, delta.Len(), cm, verified, elapsed, tracer)
 	}()
 	for _, cmd := range procs {
 		cmd.Process.Kill()
@@ -386,30 +401,31 @@ func runCoord(args []string) {
 	}
 }
 
-// writeReport writes the optional JSON run report.
-func writeReport(path, spec string, p int, part string, T int, met dist.Metrics, sm shard.ShardMetrics, churnOps int, cm shard.ChurnMetrics, verified bool, elapsed time.Duration) error {
+// writeReport writes the optional JSON run report through the obs-owned
+// envelope, so the frame-byte and churn keys here are byte-for-byte the
+// ones cmd/bench writes for the same metric structs.
+func writeReport(path, spec string, p int, part string, T int, met dist.Metrics, sm shard.ShardMetrics, churnOps int, cm shard.ChurnMetrics, verified bool, elapsed time.Duration, tracer *obs.Tracer) error {
 	if path == "" {
 		return nil
 	}
-	rec := map[string]any{
-		"graph":      spec,
-		"workers":    p,
-		"part":       part,
-		"rounds":     T,
-		"metrics":    met,
-		"sharding":   sm,
-		"verified":   verified,
-		"elapsed_ms": elapsed.Milliseconds(),
+	rep := obs.RunReport{
+		Graph:     spec,
+		Workers:   p,
+		Part:      part,
+		Rounds:    T,
+		Metrics:   met,
+		Sharding:  sm,
+		Verified:  verified,
+		ElapsedMS: elapsed.Milliseconds(),
 	}
 	if churnOps > 0 {
-		rec["churn_ops"] = churnOps
-		rec["churn"] = cm
+		rep.ChurnOps = churnOps
+		rep.Churn = cm
 	}
-	out, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return err
+	if tracer != nil {
+		rep.Phases = tracer.Trace().PhaseTotals()
 	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	return obs.WriteReportFile(path, rep)
 }
 
 // dialRetry dials with a retry loop, giving spawned workers time to bind

@@ -2,9 +2,12 @@ package main
 
 import (
 	"encoding/binary"
+	"expvar"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // /debug/pprof on the -debug-addr mux
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -16,6 +19,7 @@ import (
 	"distkcore/internal/core"
 	"distkcore/internal/dist"
 	dnet "distkcore/internal/net"
+	"distkcore/internal/obs"
 	"distkcore/internal/session"
 	"distkcore/internal/shard"
 )
@@ -26,16 +30,18 @@ import (
 func runServe(args []string) {
 	fs := flag.NewFlagSet("cluster serve", flag.ExitOnError)
 	var (
-		workers = fs.String("workers", "", "comma-separated worker addresses (workers must run with -session)")
-		spawn   = fs.Int("spawn", 0, "spawn P session-worker subprocesses over unix sockets instead of dialing -workers")
-		gen     = fs.String("gen", "ba", "graph generator (ba, er, rmat, grid, caveman, planted)")
-		n       = fs.Int("n", 10000, "node count")
-		seed    = fs.Int64("seed", 7, "generator seed")
-		eps     = fs.Float64("eps", 0.5, "approximation parameter (sets T = ceil(log_{1+eps} n))")
-		tFlag   = fs.Int("T", 0, "explicit round budget (overrides -eps)")
-		partN   = fs.String("part", "greedy", "partitioner: hash, range or greedy")
-		control = fs.String("control", "unix:/tmp/dkc-session.sock", "control address push/sub clients connect to")
-		timeout = fs.Duration("timeout", 30*time.Second, "per-operation IO deadline on worker connections (0 = none)")
+		workers   = fs.String("workers", "", "comma-separated worker addresses (workers must run with -session)")
+		spawn     = fs.Int("spawn", 0, "spawn P session-worker subprocesses over unix sockets instead of dialing -workers")
+		gen       = fs.String("gen", "ba", "graph generator (ba, er, rmat, grid, caveman, planted)")
+		n         = fs.Int("n", 10000, "node count")
+		seed      = fs.Int64("seed", 7, "generator seed")
+		eps       = fs.Float64("eps", 0.5, "approximation parameter (sets T = ceil(log_{1+eps} n))")
+		tFlag     = fs.Int("T", 0, "explicit round budget (overrides -eps)")
+		partN     = fs.String("part", "greedy", "partitioner: hash, range or greedy")
+		control   = fs.String("control", "unix:/tmp/dkc-session.sock", "control address push/sub clients connect to")
+		timeout   = fs.Duration("timeout", 30*time.Second, "per-operation IO deadline on worker connections (0 = none)")
+		traceOut  = fs.String("trace", "", cliutil.TraceUsage)
+		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof and expvar (incl. the live session snapshot) on this address, e.g. 127.0.0.1:6060")
 	)
 	fs.Parse(args)
 
@@ -105,6 +111,12 @@ func runServe(args []string) {
 		}
 
 		// Epoch 0: one full coordinated run over a hub that outlives it.
+		// The tracer (when asked for) spans the whole session life:
+		// coordinator-side run spans, then per-epoch seal/publish spans.
+		var tracer *obs.Tracer
+		if *traceOut != "" {
+			tracer = obs.NewTracer()
+		}
 		hub := dnet.NewHub(conns)
 		defer hub.Close()
 		start := time.Now()
@@ -118,6 +130,7 @@ func runServe(args []string) {
 			ProtoSpec:  fmt.Sprintf("coreness:%d", T),
 			WantValues: true,
 			IOTimeout:  *timeout,
+			Trace:      tracer,
 		})
 		if err != nil {
 			return err
@@ -129,6 +142,18 @@ func runServe(args []string) {
 		co, err := session.NewCoordinator(hub, g, assign, part, b)
 		if err != nil {
 			return err
+		}
+		co.SetTracer(tracer)
+		if *debugAddr != "" {
+			// StatView is the lock-free snapshot, safe to read from the HTTP
+			// goroutines while the session goroutine pushes epochs.
+			expvar.Publish("session", expvar.Func(func() any { return co.StatView() }))
+			go func() {
+				if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+					fmt.Fprintln(os.Stderr, "cluster serve: debug server:", err)
+				}
+			}()
+			fmt.Printf("cluster serve: pprof/expvar on http://%s/debug/\n", *debugAddr)
 		}
 		fmt.Printf("cluster serve: epoch 0 sealed in %v (%s over %d workers, T=%d, rounds=%d, chain %#x)\n",
 			time.Since(start).Round(time.Millisecond), spec, p, T, met.Rounds, co.ChainDigest())
@@ -147,6 +172,12 @@ func runServe(args []string) {
 		defer ln.Close()
 		fmt.Printf("cluster serve: control listening on %s\n", *control)
 		serveErr := session.Serve(co, ln, func(f string, a ...any) { fmt.Printf(f+"\n", a...) })
+
+		// The trace covers the whole session: epoch 0's run spans plus every
+		// later epoch's repair/rebalance/publish spans, on one clock.
+		if err := cliutil.WriteTrace(*traceOut, tracer); err != nil && serveErr == nil {
+			serveErr = err
+		}
 
 		// Clean goodbye to the workers (best-effort even when serveErr is a
 		// broken session — the error record already went out then).
@@ -266,6 +297,70 @@ func runPush(args []string) {
 	if *shutdown {
 		_ = c.WriteRecord(dnet.RecBye, []byte("shutdown"))
 		_ = c.Flush()
+	}
+}
+
+// runStat queries a running session server for its live counters over the
+// control socket (wire record RecStat, DESIGN.md §11) and prints them in a
+// stable one-key-per-line form. On a broken session the latched cause —
+// epoch, phase and faulting worker — is included, so a dead cluster can be
+// diagnosed without grepping server logs.
+func runStat(args []string) {
+	fs := flag.NewFlagSet("cluster stat", flag.ExitOnError)
+	connect := fs.String("connect", "unix:/tmp/dkc-session.sock", "session server control address")
+	fs.Parse(args)
+
+	network, addr, err := splitAddr(*connect)
+	if err != nil {
+		fatal(err)
+	}
+	nc, err := dialRetry(network, addr, 10*time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	c := dnet.NewConn(nc)
+	defer c.Close()
+
+	if err := c.WriteRecord(dnet.RecStat, nil); err != nil {
+		fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		fatal(err)
+	}
+	typ, body, err := c.AwaitRecord()
+	if err != nil {
+		fatal(err)
+	}
+	if typ == dnet.RecError {
+		fatal(fmt.Errorf("server: %s", body))
+	}
+	if typ != dnet.RecStat {
+		fatal(fmt.Errorf("expected stat record, got record type %d", typ))
+	}
+	st, _, err := codec.DecodeStat(body)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("epoch         %d\n", st.Epoch)
+	fmt.Printf("chain         %#x\n", st.ChainDigest)
+	fmt.Printf("workers       %d\n", st.Workers)
+	fmt.Printf("nodes         %d\n", st.Nodes)
+	fmt.Printf("subscribers   %d\n", st.Subscribers)
+	fmt.Printf("pushes        %d (rejected %d)\n", st.Pushes, st.Rejected)
+	fmt.Printf("changed       %d values over %d delta bytes\n", st.Changed, st.DeltaBytes)
+	fmt.Printf("notifications %d\n", st.Notifications)
+	fmt.Printf("epoch time    %s total", time.Duration(st.EpochMicros)*time.Microsecond)
+	if st.Pushes > 0 {
+		fmt.Printf(" (%s/epoch)", time.Duration(st.EpochMicros/st.Pushes)*time.Microsecond)
+	}
+	fmt.Println()
+	if st.Broken {
+		if st.CauseWorker >= 0 {
+			fmt.Printf("BROKEN        epoch %d, %s, worker %d: %s\n", st.CauseEpoch, st.CausePhase, st.CauseWorker, st.Cause)
+		} else {
+			fmt.Printf("BROKEN        epoch %d, %s: %s\n", st.CauseEpoch, st.CausePhase, st.Cause)
+		}
+		os.Exit(1)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"distkcore/internal/core"
 	"distkcore/internal/dist"
 	"distkcore/internal/exact"
+	"distkcore/internal/obs"
 	"distkcore/internal/quantize"
 	"distkcore/internal/shard"
 )
@@ -44,6 +45,7 @@ func main() {
 	quiet := flag.Bool("q", false, "summary only, no per-node lines")
 	engineSpec := flag.String("engine", "", "run as a message-passing protocol on this engine; "+cliutil.EngineUsage+" (empty = centralized simulation)")
 	churn := flag.String("churn", "", cliutil.ChurnUsage)
+	traceOut := flag.String("trace", "", cliutil.TraceUsage)
 	flag.Parse()
 
 	g, err := cliutil.LoadGraph(*in, *gen, *n, *seed)
@@ -63,6 +65,15 @@ func main() {
 	}
 	delta := dist.RandomChurn(g, churnOps, churnSeed)
 	mutated := g // the post-churn graph all reporting describes
+	// Tracing needs an engine to thread through; a bare -trace runs the
+	// protocol on the sequential reference engine.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		if *engineSpec == "" {
+			*engineSpec = "seq"
+		}
+	}
 	var res *core.Result
 	if *engineSpec != "" {
 		eng, err := cliutil.ParseEngine(*engineSpec)
@@ -70,6 +81,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "kcore:", err)
 			os.Exit(2)
 		}
+		eng = cliutil.Traced(eng, tracer)
 		// Cluster engines absorb the churn batch through their own delta
 		// protocol (rebalanced placement, wire-encoded delta) and take the
 		// pre-churn graph; direct engines run fresh on the mutated graph.
@@ -142,5 +154,9 @@ func main() {
 		if cnt > 0 {
 			fmt.Printf("# max β/c = %.4f  mean β/c = %.4f over %d nodes\n", maxR, sum/float64(cnt), cnt)
 		}
+	}
+	if err := cliutil.WriteTrace(*traceOut, tracer); err != nil {
+		fmt.Fprintln(os.Stderr, "kcore:", err)
+		os.Exit(1)
 	}
 }

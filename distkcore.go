@@ -28,7 +28,11 @@
 // the mutated graph (DESIGN.md §9). On top of the socket transport,
 // OpenSession keeps a cluster hot across runs: deltas stream to the live
 // workers as epochs, each re-converged incrementally, digest-chained, and
-// published to subscribers (DESIGN.md §10).
+// published to subscribers (DESIGN.md §10). Every surface threads through
+// an observation-only tracing layer: attach a NewTracer via TracedEngine
+// or SessionOptions.Trace to get per-phase timings, shard-pair byte flows
+// and a Chrome-traceable timeline, provably without perturbing the
+// execution (DESIGN.md §11).
 //
 // The subpackages under internal/ carry the implementation; this package
 // re-exports the surface a downstream user needs. See README.md for a
@@ -36,12 +40,14 @@
 package distkcore
 
 import (
+	"distkcore/internal/cliutil"
 	"distkcore/internal/core"
 	"distkcore/internal/densest"
 	"distkcore/internal/dist"
 	"distkcore/internal/exact"
 	"distkcore/internal/graph"
 	dnet "distkcore/internal/net"
+	"distkcore/internal/obs"
 	"distkcore/internal/orient"
 	"distkcore/internal/quantize"
 	"distkcore/internal/session"
@@ -122,6 +128,24 @@ type (
 	// SubscriptionLedger is the per-subscriber account of what was asked for
 	// and what has been sent.
 	SubscriptionLedger = session.Ledger
+	// Tracer is the zero-overhead-when-disabled run tracer (DESIGN.md §11):
+	// attach one to an engine with TracedEngine (or to a session via
+	// SessionOptions.Trace) and it collects typed per-phase spans and
+	// shard-pair byte flows without being able to perturb the execution.
+	// A nil *Tracer is the disabled default; obtain a live one from
+	// NewTracer.
+	Tracer = obs.Tracer
+	// RunTrace is a Tracer's collected record set: export it as a
+	// deterministic text transcript, Chrome trace-event JSON (for
+	// chrome://tracing / Perfetto), per-phase totals or a P×P flow matrix.
+	RunTrace = obs.RunTrace
+	// PhaseTotal aggregates every span of one phase — where a run's time
+	// and bytes went.
+	PhaseTotal = obs.PhaseTotal
+	// BreakCause diagnoses a broken session: epoch, protocol phase,
+	// implicated worker and underlying error. Session.Cause returns it, and
+	// errors.As recovers it from Session.Err.
+	BreakCause = session.BreakCause
 )
 
 // RandomChurn builds a deterministic churn batch of ops edge mutations for
@@ -129,6 +153,19 @@ type (
 // cleanly applicable — the workload generator behind the -churn CLI flags
 // and experiment E19.
 func RandomChurn(g *Graph, ops int, seed int64) GraphDelta { return dist.RandomChurn(g, ops, seed) }
+
+// NewTracer returns an enabled run tracer; its clock starts now. Thread it
+// through TracedEngine or SessionOptions.Trace, run, then read
+// Tracer.Trace() for the transcript, timeline and phase totals.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// TracedEngine installs tr on any engine kind with a tracing seam
+// (sequential, parallel, sharded, socket) and returns the engine to run.
+// A nil tracer passes eng through unchanged. Tracing is observation-only:
+// the traced run's metrics and values are bit-identical to the untraced
+// run's (DESIGN.md §11 has the argument; the pinned-transcript tests hold
+// every engine to it).
+func TracedEngine(eng Engine, tr *Tracer) Engine { return cliutil.Traced(eng, tr) }
 
 // SequentialEngine returns the deterministic single-threaded engine — the
 // reference scheduler every protocol is tested against.

@@ -1,7 +1,8 @@
 // Engines: the same elimination protocol executed on the sequential
 // reference engine, the goroutine-per-node parallel engine, and the
 // asynchronous event-driven simulator — with the communication metrics
-// each one reports.
+// each one reports, and a traced sharded run showing the per-phase
+// breakdown the observability layer collects.
 //
 //	go run ./examples/engines
 package main
@@ -56,6 +57,17 @@ func main() {
 			worst = d
 		}
 	}
-	fmt.Printf("async: events=%d messages=%d makespan=%.2f  max|b-c|=%g\n",
+	fmt.Printf("async: events=%d messages=%d makespan=%.2f  max|b-c|=%g\n\n",
 		ma.Events, ma.Messages, ma.VirtualTime, worst)
+
+	// Observability (DESIGN.md §11): trace a sharded run — same values,
+	// same metrics, plus a per-phase account of where the time and the
+	// cross-shard bytes went. Write tr.Trace() to a file with
+	// WriteChromeTrace for a chrome://tracing / Perfetto timeline.
+	tr := distkcore.NewTracer()
+	eng := distkcore.TracedEngine(distkcore.ShardedEngine(4, distkcore.GreedyPartitioner()), tr)
+	distkcore.RunDistributedOn(g, T, eng)
+	for _, pt := range tr.Trace().PhaseTotals() {
+		fmt.Printf("traced shard run: phase=%-12s spans=%3d  bytes=%d\n", pt.Phase, pt.Spans, pt.Bytes)
+	}
 }

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"distkcore/internal/graph"
+	"distkcore/internal/obs"
 	"distkcore/internal/quantize"
 )
 
@@ -313,6 +314,20 @@ type RouteFunc func(from, to graph.NodeID, m Message) Message
 // Senders are processed in ascending node ID, so inboxes are ordered by
 // sender — the determinism contract of the package.
 func (s *sim) deliver() { s.deliverVia(nil) }
+
+// traceDeliver is deliverVia wrapped in a deliver span whose byte and
+// message counts are the delivery's own Metrics deltas — the tracer records
+// exactly the numbers the run accounted, nothing recomputed.
+func (s *sim) traceDeliver(tr *obs.Tracer, round int, route RouteFunc) {
+	if tr == nil {
+		s.deliverVia(route)
+		return
+	}
+	wb0, mg0 := s.met.WireBytes, s.met.Messages
+	sp := tr.Begin(obs.PhaseDeliver, round, -1)
+	s.deliverVia(route)
+	sp.EndN(s.met.WireBytes-wb0, s.met.Messages-mg0)
+}
 
 // deliverVia is deliver with an optional transport hook. Metrics always
 // account the original message (Words/WireBytes are properties of the

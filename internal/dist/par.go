@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"distkcore/internal/graph"
+	"distkcore/internal/obs"
 	"distkcore/internal/quantize"
 )
 
@@ -16,9 +17,11 @@ import (
 // SeqEngine's (asserted by TestParEngineMatchesSeqEngine and the dist
 // package's own equivalence tests).
 //
-// The zero value is ready to use; Lam is as in SeqEngine.
+// The zero value is ready to use; Lam and Trace are as in SeqEngine (the
+// step span covers the whole concurrent wave, barrier included).
 type ParEngine struct {
-	Lam quantize.Lambda
+	Lam   quantize.Lambda
+	Trace *obs.Tracer
 }
 
 // Name identifies the engine in experiment tables and CLI flags.
@@ -57,15 +60,19 @@ func (e ParEngine) Run(g *graph.Graph, factory Factory, maxRounds int) Metrics {
 		}(v)
 	}
 	step := func(t int) {
+		sp := e.Trace.Begin(obs.PhaseStep, t, -1)
+		stepped := 0
 		for v := 0; v < n; v++ {
 			if s.ctxs[v].halted {
 				continue
 			}
 			wg.Add(1)
 			work[v] <- t
+			stepped++
 		}
 		wg.Wait()
-		s.deliver()
+		sp.EndN(0, int64(stepped))
+		s.traceDeliver(e.Trace, t, nil)
 	}
 
 	step(0)

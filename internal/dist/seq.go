@@ -2,6 +2,7 @@ package dist
 
 import (
 	"distkcore/internal/graph"
+	"distkcore/internal/obs"
 	"distkcore/internal/quantize"
 )
 
@@ -12,9 +13,13 @@ import (
 //
 // The zero value is ready to use. Lam, when set, prices every transmitted
 // value under that threshold set in Metrics.WireBytes (nil means Λ = ℝ,
-// i.e. full 64-bit words).
+// i.e. full 64-bit words). Trace, when set, collects per-round step and
+// deliver spans; it observes values the engine already computed, so a
+// traced run is byte-identical to an untraced one (obs package comment has
+// the argument).
 type SeqEngine struct {
-	Lam quantize.Lambda
+	Lam   quantize.Lambda
+	Trace *obs.Tracer
 }
 
 // Name identifies the engine in experiment tables and CLI flags.
@@ -29,13 +34,17 @@ func (e SeqEngine) WithWireLambda(lam quantize.Lambda) Engine {
 // Run implements Engine.
 func (e SeqEngine) Run(g *graph.Graph, factory Factory, maxRounds int) Metrics {
 	s := newSim(g, e.Lam, factory)
+	sp := e.Trace.Begin(obs.PhaseStep, 0, -1)
 	for v := 0; v < g.N(); v++ {
 		s.progs[v].Init(&s.ctxs[v])
 	}
-	s.deliver()
+	sp.EndN(0, int64(g.N()))
+	s.traceDeliver(e.Trace, 0, nil)
 	rounds := 0
 	for t := 1; t <= maxRounds && s.alive > 0; t++ {
 		rounds = t
+		sp := e.Trace.Begin(obs.PhaseStep, t, -1)
+		stepped := 0
 		for v := 0; v < g.N(); v++ {
 			c := &s.ctxs[v]
 			if c.halted {
@@ -43,8 +52,10 @@ func (e SeqEngine) Run(g *graph.Graph, factory Factory, maxRounds int) Metrics {
 			}
 			c.round = t
 			s.progs[v].Round(c, s.inboxOf(v))
+			stepped++
 		}
-		s.deliver()
+		sp.EndN(0, int64(stepped))
+		s.traceDeliver(e.Trace, t, nil)
 	}
 	return s.finish(rounds)
 }

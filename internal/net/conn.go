@@ -55,6 +55,10 @@ const (
 	// RecBye ends a session cleanly; the body is an optional reason ("" for
 	// a plain goodbye, "shutdown" from a client asks the server to stop).
 	RecBye = byte(17)
+	// RecStat queries a live session: client→coordinator the body is empty,
+	// the reply carries a codec.Stat snapshot (epoch, chain digest,
+	// subscriber and push totals, timing, break cause).
+	RecStat = byte(18)
 	// RecError re-exports the run protocol's error record for session
 	// endpoints reading through the exported record IO: error records abort
 	// whatever exchange is in flight in both protocols.

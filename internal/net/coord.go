@@ -10,6 +10,7 @@ import (
 	"distkcore/internal/codec"
 	"distkcore/internal/dist"
 	"distkcore/internal/graph"
+	"distkcore/internal/obs"
 	"distkcore/internal/quantize"
 	"distkcore/internal/shard"
 )
@@ -42,6 +43,11 @@ type Spec struct {
 	// error instead of hanging the coordinator forever (fail-fast, the
 	// deadline side of "determinism over availability").
 	IOTimeout time.Duration
+	// Trace, when set, records the coordinator's per-round barrier-wait and
+	// relay spans plus one Flow per relayed frame — the P×P matrix that
+	// makes the coordinator funnel visible. It observes bytes the ledger
+	// already prices, so a traced run is byte-identical to an untraced one.
+	Trace *obs.Tracer
 }
 
 // NodeValue is one node's result value as shipped by a worker — the exact
@@ -445,6 +451,7 @@ func (c *coordinator) round(t int) (alive int, err error) {
 	relay := make([][][]byte, p) // relay[q] = frame records parked for worker q
 	framesFrom := make([]int, p)
 	done := make([]bool, p)
+	bw := c.spec.Trace.Begin(obs.PhaseBarrierWait, t, -1)
 	for dones := 0; dones < p; {
 		r, err := c.next()
 		if err != nil {
@@ -465,6 +472,7 @@ func (c *coordinator) round(t int) (alive int, err error) {
 			c.rep.Sharding.CrossMessages += int64(fh.Count)
 			c.rep.Sharding.CrossFrameBytes += int64(len(r.body))
 			c.rep.Sharding.PerShardBytes[fh.Src] += int64(len(r.body))
+			c.spec.Trace.Flow(t, fh.Src, fh.Dst, int64(len(r.body)), int64(fh.Count))
 			framesFrom[r.from]++
 			relay[fh.Dst] = append(relay[fh.Dst], r.body)
 		case recDone:
@@ -494,11 +502,16 @@ func (c *coordinator) round(t int) (alive int, err error) {
 			return 0, fmt.Errorf("net: unexpected record type %d from worker %d in round %d", r.typ, r.from, t)
 		}
 	}
+	bw.End()
+	rl := c.spec.Trace.Begin(obs.PhaseRelay, t, -1)
+	var relayBytes, relayFrames int64
 	for q, cn := range c.hub.conns {
 		for _, frame := range relay[q] {
 			if err := cn.writeRecord(recFrame, frame); err != nil {
 				return 0, err
 			}
+			relayBytes += int64(len(frame))
+			relayFrames++
 		}
 		del := binary.AppendUvarint(nil, uint64(t))
 		del = binary.AppendUvarint(del, uint64(len(relay[q])))
@@ -509,5 +522,6 @@ func (c *coordinator) round(t int) (alive int, err error) {
 			return 0, err
 		}
 	}
+	rl.EndN(relayBytes, relayFrames)
 	return alive, nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"distkcore/internal/dist"
 	"distkcore/internal/graph"
+	"distkcore/internal/obs"
 	"distkcore/internal/quantize"
 	"distkcore/internal/shard"
 )
@@ -54,6 +55,11 @@ type Engine struct {
 	// ledger, both shared across WithWireLambda copies.
 	churn *netChurn
 	cm    *shard.ChurnMetrics
+	// trace, when set, is installed on the coordinator spec and every
+	// in-process worker, so one tracer collects the full cluster timeline:
+	// coordinator barrier-wait/relay spans and funnel flows interleaved
+	// with per-worker step/encode/barrier-wait/deliver spans.
+	trace *obs.Tracer
 }
 
 // netChurn is an installed delta batch awaiting absorption by Run.
@@ -93,6 +99,13 @@ func (e *Engine) Churn(d dist.GraphDelta, moveBudget int) {
 // ChurnMetrics returns the churn ledger of the most recent Run that
 // absorbed a delta.
 func (e *Engine) ChurnMetrics() shard.ChurnMetrics { return *e.cm }
+
+// SetTracer installs (or, with nil, removes) the tracer subsequent Runs
+// record into; shared with WithWireLambda copies made afterwards. The
+// tracer is handed to the coordinator and all P worker goroutines — its
+// internal lock makes the concurrent appends safe, and the canonical
+// transcript order is scheduler-independent (obs package comment).
+func (e *Engine) SetTracer(t *obs.Tracer) { e.trace = t }
 
 // P returns the worker count.
 func (e *Engine) P() int { return e.p }
@@ -150,6 +163,7 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 		P:         p,
 		MaxRounds: maxRounds,
 		Lam:       e.lam,
+		Trace:     e.trace,
 	}
 	if len(e.churn.delta.Ops) > 0 {
 		spec.Delta, spec.MoveBudget = e.churn.delta, e.churn.budget
@@ -189,7 +203,7 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 					c.SendError(fmt.Errorf("worker panic: %v", r))
 				}
 			}()
-			w := &Worker{c: c, g: g, assign: assign, lam: e.lam, Delay: e.Delay, Part: e.part}
+			w := &Worker{c: c, g: g, assign: assign, lam: e.lam, Delay: e.Delay, Part: e.part, Trace: e.trace}
 			if _, err := w.run(g, factory, maxRounds); err != nil {
 				c.SendError(err)
 			}

@@ -8,6 +8,7 @@ import (
 	"distkcore/internal/codec"
 	"distkcore/internal/dist"
 	"distkcore/internal/graph"
+	"distkcore/internal/obs"
 	"distkcore/internal/quantize"
 	"distkcore/internal/shard"
 )
@@ -48,6 +49,10 @@ type Worker struct {
 	// coordinator ran to land on the pinned partition digest. A churn run
 	// without it is a protocol error.
 	Part shard.Partitioner
+	// Trace, when set, records this worker's per-round timeline: step,
+	// encode (framing + frame writes), barrier-wait (done flushed → deliver
+	// record arrives) and deliver spans, all under the worker's shard index.
+	Trace *obs.Tracer
 
 	c      *Conn
 	g      *graph.Graph
@@ -245,6 +250,10 @@ func (w *Worker) run(g *graph.Graph, factory dist.Factory, maxRounds int) (dist.
 	var senders []graph.NodeID // remote senders with pending replays this round
 	framesIn := 0
 	curRound := -1
+	// bw is the round's pending barrier-wait span: begun once the done
+	// record is flushed, ended when the coordinator's deliver record
+	// arrives — the time this worker spends parked at the barrier.
+	var bw obs.SpanRef
 
 	for {
 		typ, body, err := w.c.readRecord()
@@ -258,12 +267,16 @@ func (w *Worker) run(g *graph.Graph, factory dist.Factory, maxRounds int) (dist.
 				return dist.Metrics{}, fmt.Errorf("net: truncated step record")
 			}
 			curRound = int(t)
+			sp := w.Trace.Begin(obs.PhaseStep, curRound, h.Shard)
 			for _, v := range local {
 				d.Step(v, curRound)
 			}
+			sp.EndN(0, int64(len(local)))
 			// Tap the shard's sends: price this worker's share of the
 			// protocol Metrics (every send, intra-shard included) and
 			// frame the cross-shard subset.
+			en := w.Trace.Begin(obs.PhaseEncode, curRound, h.Shard)
+			var encBytes, encMsgs int64
 			for _, v := range local {
 				d.Sends(v, func(to graph.NodeID, m dist.Message) {
 					mMsgs++
@@ -273,6 +286,7 @@ func (w *Worker) run(g *graph.Graph, factory dist.Factory, maxRounds int) (dist.
 						fb := &frames[q]
 						fb.buf = shard.AppendMessage(fb.buf, lam, to, m)
 						fb.count++
+						encMsgs++
 					}
 				})
 			}
@@ -290,10 +304,12 @@ func (w *Worker) run(g *graph.Graph, factory dist.Factory, maxRounds int) (dist.
 				if err := w.c.writeRecord(recFrame, hdrBuf, fb.buf); err != nil {
 					return dist.Metrics{}, err
 				}
+				encBytes += int64(len(hdrBuf) + len(fb.buf))
 				fb.buf = fb.buf[:0]
 				fb.count = 0
 				nf++
 			}
+			en.EndN(encBytes, encMsgs)
 			alive := 0
 			for _, v := range local {
 				if !d.Halted(v) {
@@ -315,6 +331,7 @@ func (w *Worker) run(g *graph.Graph, factory dist.Factory, maxRounds int) (dist.
 			if arena != nil {
 				arena.Reset()
 			}
+			bw = w.Trace.Begin(obs.PhaseBarrierWait, curRound, h.Shard)
 
 		case recFrame:
 			fh, k, err := codec.DecodeFrameHeader(body)
@@ -362,9 +379,12 @@ func (w *Worker) run(g *graph.Graph, factory dist.Factory, maxRounds int) (dist.
 			if int(t) != curRound || int(nf) != framesIn {
 				return dist.Metrics{}, fmt.Errorf("net: deliver(round %d, %d frames) but worker is at round %d with %d frames", t, nf, curRound, framesIn)
 			}
+			bw.End()
+			bw = obs.SpanRef{}
 			// Ghost replay slots the remote sends into the Driver's queues;
 			// Deliver then assembles every local inbox in the global
 			// deterministic order (ascending sender, ties in send order).
+			dl := w.Trace.Begin(obs.PhaseDeliver, curRound, h.Shard)
 			for _, u := range senders {
 				d.Step(u, curRound)
 				gh.pending[u] = gh.pending[u][:0]
@@ -372,6 +392,7 @@ func (w *Worker) run(g *graph.Graph, factory dist.Factory, maxRounds int) (dist.
 			senders = senders[:0]
 			framesIn = 0
 			d.Deliver(nil)
+			dl.End()
 
 		case recFinish:
 			rounds, k := binary.Uvarint(body)

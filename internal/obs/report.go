@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// RunReport is the one report envelope every JSON-writing surface shares:
+// cmd/cluster's -json run report and cmd/bench's per-row run descriptions
+// both marshal through it, so frame-byte, churn and phase-timing fields
+// appear under the same keys everywhere (they used to be hand-rolled per
+// command, and cmd/bench dropped ShardMetrics/ChurnMetrics entirely).
+//
+// Metrics/Sharding/Churn are `any` on purpose: this package sits below
+// dist and shard in the import graph (they call into it to trace), so it
+// cannot name their metric types — callers pass dist.Metrics,
+// shard.ShardMetrics and shard.ChurnMetrics values and the JSON keys come
+// from those structs, identical at every call site by construction.
+type RunReport struct {
+	Graph     string       `json:"graph,omitempty"`
+	Engine    string       `json:"engine,omitempty"`
+	Workers   int          `json:"workers,omitempty"`
+	Part      string       `json:"part,omitempty"`
+	Rounds    int          `json:"rounds,omitempty"`
+	Metrics   any          `json:"metrics,omitempty"`
+	Sharding  any          `json:"sharding,omitempty"`
+	ChurnOps  int          `json:"churn_ops,omitempty"`
+	Churn     any          `json:"churn,omitempty"`
+	Phases    []PhaseTotal `json:"phases,omitempty"`
+	Verified  bool         `json:"verified"`
+	ElapsedMS int64        `json:"elapsed_ms,omitempty"`
+}
+
+// MarshalReport is the one marshaling path for run reports and the files
+// that embed them: indented JSON with a trailing newline.
+func MarshalReport(v any) ([]byte, error) {
+	enc, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(enc, '\n'), nil
+}
+
+// WriteReportFile marshals v through MarshalReport and writes it to path
+// ("-" means stdout).
+func WriteReportFile(path string, v any) error {
+	enc, err := MarshalReport(v)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(path, enc, 0o644)
+}

@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"distkcore/internal/codec"
 	"distkcore/internal/dist"
 	"distkcore/internal/graph"
 	net "distkcore/internal/net"
+	"distkcore/internal/obs"
 	"distkcore/internal/shard"
 )
 
@@ -56,6 +59,15 @@ type Coordinator struct {
 	vd     uint64
 	subs   *SubManager
 	broken error
+	// trace, when set, records one epoch span per Push plus the publish
+	// span (repair/rebalance spans come from the worker side).
+	trace *obs.Tracer
+	// Running totals behind Stat; owned by the session goroutine.
+	pushes, rejected    int64
+	changed, deltaBytes int64
+	notifs, epochMicros int64
+	// statp is the lock-free snapshot StatView serves to other goroutines.
+	statp atomic.Pointer[codec.Stat]
 }
 
 // NewCoordinator seals epoch 0 over the hub: g, assign and b are the
@@ -83,13 +95,18 @@ func NewCoordinator(hub *net.Hub, g *graph.Graph, assign []int, part shard.Parti
 	c.chain = ChainNext(0, c.gh, c.pd, c.vd)
 	st := codec.Stamp{Epoch: 0, GraphHash: c.gh, PartDigest: c.pd, ValuesDigest: c.vd, ChainDigest: c.chain}
 	if err := c.broadcastStamp(st); err != nil {
-		return nil, c.fail(err)
+		return nil, c.fail(0, "stamp-broadcast", err)
 	}
 	if err := c.collectEchoes(st); err != nil {
-		return nil, c.fail(err)
+		return nil, c.fail(0, "stamp-echo", err)
 	}
+	c.publishStat()
 	return c, nil
 }
+
+// SetTracer installs (or, with nil, removes) the tracer subsequent pushes
+// record their epoch and publish spans into.
+func (c *Coordinator) SetTracer(t *obs.Tracer) { c.trace = t }
 
 // Push absorbs one delta batch as the next epoch: broadcast, collect every
 // worker's reconverge, seal with a stamp, publish notifications. A batch
@@ -109,17 +126,21 @@ func (c *Coordinator) Push(d dist.GraphDelta, moveBudget int) (*EpochReport, err
 	// (codec round trip, application, rebalance) without touching a worker.
 	g2, next, cm, err := shard.AbsorbDelta(c.part, c.g, c.p, c.assign, d, moveBudget)
 	if err != nil {
+		c.rejected++
+		c.publishStat()
 		return nil, fmt.Errorf("session: delta rejected (session still live): %w", err)
 	}
 	epoch := c.epoch + 1
+	sealStart := time.Now()
+	ep := c.trace.Begin(obs.PhaseEpoch, epoch, -1)
 	push := AppendDeltaPush(nil, epoch, moveBudget, d)
 	if err := c.broadcast(net.RecDeltaPush, push); err != nil {
-		return nil, c.fail(err)
+		return nil, c.fail(epoch, "delta-broadcast", err)
 	}
 	gh, pd := g2.Fingerprint(), shard.PartitionDigest(next)
 	all, err := c.collectReconverges(epoch, gh, pd, next)
 	if err != nil {
-		return nil, c.fail(err)
+		return nil, c.fail(epoch, "reconverge", err)
 	}
 
 	// Fold the changes into a fresh vector; prev stays intact for Publish.
@@ -127,7 +148,7 @@ func (c *Coordinator) Push(d dist.GraphDelta, moveBudget int) (*EpochReport, err
 	cur := append([]float64(nil), prev...)
 	for _, ch := range all {
 		if math.Float64bits(prev[ch.Node]) != ch.OldBits {
-			return nil, c.fail(fmt.Errorf("session: epoch %d change at node %d claims old bits %#x, coordinator holds %#x",
+			return nil, c.fail(epoch, "reconverge", fmt.Errorf("session: epoch %d change at node %d claims old bits %#x, coordinator holds %#x",
 				epoch, ch.Node, ch.OldBits, math.Float64bits(prev[ch.Node])))
 		}
 		cur[ch.Node] = math.Float64frombits(ch.NewBits)
@@ -136,17 +157,26 @@ func (c *Coordinator) Push(d dist.GraphDelta, moveBudget int) (*EpochReport, err
 	chain := ChainNext(c.chain, gh, pd, vd)
 	st := codec.Stamp{Epoch: epoch, GraphHash: gh, PartDigest: pd, ValuesDigest: vd, ChainDigest: chain, Changed: len(all)}
 	if err := c.broadcastStamp(st); err != nil {
-		return nil, c.fail(err)
+		return nil, c.fail(epoch, "stamp-broadcast", err)
 	}
 	if err := c.collectEchoes(st); err != nil {
-		return nil, c.fail(err)
+		return nil, c.fail(epoch, "stamp-echo", err)
 	}
 
 	// Sealed: commit, then publish against the committed transition.
 	c.g, c.assign, c.b = g2, next, cur
 	c.epoch, c.chain = epoch, chain
 	c.gh, c.pd, c.vd = gh, pd, vd
+	pub := c.trace.Begin(obs.PhasePublish, epoch, -1)
 	notifs := c.subs.Publish(epoch, prev, cur, changedNodes(all))
+	pub.EndN(0, int64(len(notifs)))
+	ep.EndN(int64(len(push)), int64(len(all)))
+	c.pushes++
+	c.changed += int64(len(all))
+	c.deltaBytes += int64(len(push))
+	c.notifs += int64(len(notifs))
+	c.epochMicros += time.Since(sealStart).Microseconds()
+	c.publishStat()
 	return &EpochReport{
 		Epoch: epoch, Changed: all, Churn: cm,
 		GraphHash: gh, PartDigest: pd, ValuesDigest: vd, ChainDigest: chain,
@@ -163,32 +193,32 @@ func (c *Coordinator) collectReconverges(epoch int, gh, pd uint64, next []int) (
 	for i := 0; i < c.p; i++ {
 		from, typ, body, err := c.hub.Next()
 		if err != nil {
-			return nil, err
+			return nil, faultOf(from, err)
 		}
 		if typ != net.RecReconverge {
-			return nil, fmt.Errorf("session: worker %d sent record type %d, want reconverge", from, typ)
+			return nil, faultOf(from, fmt.Errorf("session: worker %d sent record type %d, want reconverge", from, typ))
 		}
 		r, err := DecodeReconverge(body)
 		if err != nil {
-			return nil, err
+			return nil, faultOf(from, err)
 		}
 		switch {
 		case got[from]:
-			return nil, fmt.Errorf("session: worker %d reconverged twice at epoch %d", from, epoch)
+			return nil, faultOf(from, fmt.Errorf("session: worker %d reconverged twice at epoch %d", from, epoch))
 		case r.Epoch != epoch:
-			return nil, fmt.Errorf("session: worker %d reconverged epoch %d, want %d", from, r.Epoch, epoch)
+			return nil, faultOf(from, fmt.Errorf("session: worker %d reconverged epoch %d, want %d", from, r.Epoch, epoch))
 		case r.GraphHash != gh:
-			return nil, fmt.Errorf("session: worker %d epoch %d graph fingerprint %#x, coordinator %#x", from, epoch, r.GraphHash, gh)
+			return nil, faultOf(from, fmt.Errorf("session: worker %d epoch %d graph fingerprint %#x, coordinator %#x", from, epoch, r.GraphHash, gh))
 		case r.PartDigest != pd:
-			return nil, fmt.Errorf("session: worker %d epoch %d partition digest %#x, coordinator %#x", from, epoch, r.PartDigest, pd)
+			return nil, faultOf(from, fmt.Errorf("session: worker %d epoch %d partition digest %#x, coordinator %#x", from, epoch, r.PartDigest, pd))
 		}
 		got[from] = true
 		for _, ch := range r.Changes {
 			if ch.Node < 0 || ch.Node >= len(next) {
-				return nil, fmt.Errorf("session: worker %d shipped change for node %d of %d", from, ch.Node, len(next))
+				return nil, faultOf(from, fmt.Errorf("session: worker %d shipped change for node %d of %d", from, ch.Node, len(next)))
 			}
 			if next[ch.Node] != from {
-				return nil, fmt.Errorf("session: worker %d shipped change for node %d owned by shard %d", from, ch.Node, next[ch.Node])
+				return nil, faultOf(from, fmt.Errorf("session: worker %d shipped change for node %d owned by shard %d", from, ch.Node, next[ch.Node]))
 			}
 		}
 		all = append(all, r.Changes...)
@@ -226,32 +256,24 @@ func (c *Coordinator) collectEchoes(want codec.Stamp) error {
 	for i := 0; i < c.p; i++ {
 		from, typ, body, err := c.hub.Next()
 		if err != nil {
-			return err
+			return faultOf(from, err)
 		}
 		if typ != net.RecValuesDigest {
-			return fmt.Errorf("session: worker %d sent record type %d, want stamp echo", from, typ)
+			return faultOf(from, fmt.Errorf("session: worker %d sent record type %d, want stamp echo", from, typ))
 		}
 		st, _, err := codec.DecodeStamp(body)
 		if err != nil {
-			return err
+			return faultOf(from, err)
 		}
 		if got[from] {
-			return fmt.Errorf("session: worker %d echoed epoch %d twice", from, want.Epoch)
+			return faultOf(from, fmt.Errorf("session: worker %d echoed epoch %d twice", from, want.Epoch))
 		}
 		if st != want {
-			return fmt.Errorf("session: worker %d echoed %+v, want %+v", from, st, want)
+			return faultOf(from, fmt.Errorf("session: worker %d echoed %+v, want %+v", from, st, want))
 		}
 		got[from] = true
 	}
 	return nil
-}
-
-// fail breaks the session: the error is latched, best-effort shipped to
-// every worker, and returned.
-func (c *Coordinator) fail(err error) error {
-	c.broken = err
-	c.hub.SendError(err)
-	return err
 }
 
 // Bye broadcasts a clean goodbye (best-effort; the session is over either
@@ -264,7 +286,9 @@ func (c *Coordinator) Bye() {
 	}
 }
 
-// Err returns the error that broke the session, nil while it is live.
+// Err returns the error that broke the session, nil while it is live. A
+// break from a seal in flight is a *BreakCause carrying the epoch, phase
+// and implicated worker (Cause unpacks it).
 func (c *Coordinator) Err() error { return c.broken }
 
 // Epoch returns the last sealed epoch.

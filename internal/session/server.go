@@ -123,6 +123,14 @@ func Serve(co *Coordinator, ln stdnet.Listener, logf func(format string, args ..
 			logf("session server: epoch %d sealed: %d ops, %d changed, %d notifications, chain %#x",
 				rep.Epoch, d.Len(), len(rep.Changed), len(rep.Notifications), rep.ChainDigest)
 
+		case net.RecStat:
+			// Introspection: a read-only snapshot, served from the same
+			// goroutine that owns the session, so no locking is needed.
+			if err := cl.c.WriteRecord(net.RecStat, codec.AppendStat(nil, co.Stat())); err == nil {
+				cl.c.Flush()
+			}
+			logf("session server: client %d probed stat (epoch %d)", cl.id, co.Epoch())
+
 		case net.RecBye:
 			shutdown := string(e.body) == "shutdown"
 			logf("session server: client %d said goodbye%s", cl.id,

@@ -5,10 +5,12 @@ import (
 	"sync"
 	"time"
 
+	"distkcore/internal/codec"
 	"distkcore/internal/core"
 	"distkcore/internal/dist"
 	"distkcore/internal/graph"
 	net "distkcore/internal/net"
+	"distkcore/internal/obs"
 	"distkcore/internal/shard"
 )
 
@@ -28,6 +30,11 @@ type Options struct {
 	// IOTimeout, when non-zero, arms per-operation deadlines on every
 	// connection and bounds the coordinator's reply waits.
 	IOTimeout time.Duration
+	// Trace, when set, collects the whole session's timeline on one tracer:
+	// the epoch-0 run (coordinator and all worker spans), then per-epoch
+	// seal/publish spans coordinator-side and repair/rebalance spans
+	// worker-side.
+	Trace *obs.Tracer
 }
 
 // Session is the in-process form of a long-lived cluster: P worker
@@ -97,7 +104,7 @@ func Open(g *graph.Graph, opt Options) (*Session, error) {
 					c.SendError(fmt.Errorf("session worker panic: %v", r))
 				}
 			}()
-			if err := serveInProcessWorker(c, g, assign, idx, p, T, part); err != nil {
+			if err := serveInProcessWorker(c, g, assign, idx, p, T, part, opt.Trace); err != nil {
 				c.SendError(err)
 			}
 		}(i, workers[i])
@@ -112,6 +119,7 @@ func Open(g *graph.Graph, opt Options) (*Session, error) {
 		PartDigest: shard.PartitionDigest(assign),
 		WantValues: true,
 		IOTimeout:  opt.IOTimeout,
+		Trace:      opt.Trace,
 	})
 	if err != nil {
 		s.teardown()
@@ -128,6 +136,7 @@ func Open(g *graph.Graph, opt Options) (*Session, error) {
 		s.teardown()
 		return nil, err
 	}
+	co.SetTracer(opt.Trace)
 	s.co = co
 	return s, nil
 }
@@ -135,7 +144,7 @@ func Open(g *graph.Graph, opt Options) (*Session, error) {
 // serveInProcessWorker is one worker goroutine's whole life: handshake and
 // epoch-0 run (exactly what cmd/cluster's worker does), ship values, build
 // the session state, serve epochs until Bye.
-func serveInProcessWorker(c *net.Conn, g *graph.Graph, assign []int, idx, p, T int, part shard.Partitioner) error {
+func serveInProcessWorker(c *net.Conn, g *graph.Graph, assign []int, idx, p, T int, part shard.Partitioner, tr *obs.Tracer) error {
 	h, err := net.ReadHello(c)
 	if err != nil {
 		return err
@@ -143,6 +152,7 @@ func serveInProcessWorker(c *net.Conn, g *graph.Graph, assign []int, idx, p, T i
 	w := net.NewWorker(c, g, assign)
 	w.Hello = h
 	w.Part = part
+	w.Trace = tr
 	res, _ := core.RunDistributed(g, core.Options{Rounds: T}, w)
 	if err := w.SendValues(res.B); err != nil {
 		return err
@@ -151,6 +161,7 @@ func serveInProcessWorker(c *net.Conn, g *graph.Graph, assign []int, idx, p, T i
 	if err != nil {
 		return err
 	}
+	ws.SetTracer(tr)
 	return ws.ServeEpochs()
 }
 
@@ -192,8 +203,16 @@ func (s *Session) Metrics() dist.Metrics { return s.met }
 // Report returns the epoch-0 run's cluster report.
 func (s *Session) Report() *net.Report { return s.rep }
 
-// Err returns the error that broke the session, nil while it is live.
+// Err returns the error that broke the session, nil while it is live (a
+// break from a seal in flight is a *BreakCause — see Cause).
 func (s *Session) Err() error { return s.co.Err() }
+
+// Cause returns the structured break diagnosis — epoch, phase, implicated
+// worker, underlying error — nil while the session is live.
+func (s *Session) Cause() *BreakCause { return s.co.Cause() }
+
+// Stat snapshots the session's introspection counters (see codec.Stat).
+func (s *Session) Stat() codec.Stat { return s.co.Stat() }
 
 // Close says goodbye to every worker, waits for them to exit and releases
 // the connections. Idempotent.

@@ -8,6 +8,7 @@ import (
 	"distkcore/internal/dynamic"
 	"distkcore/internal/graph"
 	net "distkcore/internal/net"
+	"distkcore/internal/obs"
 	"distkcore/internal/shard"
 )
 
@@ -27,6 +28,7 @@ type WorkerState struct {
 	prev   []float64 // β_T bits at the last sealed epoch
 	epoch  int
 	chain  uint64
+	trace  *obs.Tracer
 }
 
 // NewWorkerState builds the session state for shard shardIdx of p over c:
@@ -68,6 +70,10 @@ func NewWorkerState(c *net.Conn, g *graph.Graph, assign []int, shardIdx, p, T in
 		prev: append([]float64(nil), b...),
 	}, nil
 }
+
+// SetTracer installs (or, with nil, removes) the tracer this worker's
+// epoch repair and rebalance spans record into.
+func (w *WorkerState) SetTracer(t *obs.Tracer) { w.trace = t }
 
 // ServeEpochs runs the worker's session loop until a Bye or an error. The
 // first record must be the coordinator's epoch-0 stamp, which seals the run
@@ -144,12 +150,16 @@ func (w *WorkerState) epochStep(body []byte) error {
 	if err != nil {
 		return fmt.Errorf("session: epoch %d delta: %w", epoch, err)
 	}
+	rp := w.trace.Begin(obs.PhaseRepair, epoch, w.shard)
 	if err := w.m.ApplyDelta(d); err != nil {
 		// The engine-side Apply succeeded, so the oracle must too; disagreeing
 		// means forked state, which kills the session.
 		return fmt.Errorf("session: epoch %d oracle: %w", epoch, err)
 	}
+	rp.EndN(0, int64(d.Len()))
+	rb := w.trace.Begin(obs.PhaseRebalance, epoch, w.shard)
 	next := shard.RebalanceAssign(w.part, g2, w.p, w.assign, d, budget)
+	rb.End()
 	cur := w.m.B()
 
 	// The full change set (for stamp cross-checks) and this worker's slice

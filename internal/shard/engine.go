@@ -7,6 +7,7 @@ import (
 	"distkcore/internal/codec"
 	"distkcore/internal/dist"
 	"distkcore/internal/graph"
+	"distkcore/internal/obs"
 	"distkcore/internal/quantize"
 )
 
@@ -34,6 +35,11 @@ type Engine struct {
 	// the caller's handle reaches the copy the protocol driver runs.
 	churn *churnState
 	cm    *ChurnMetrics
+	// trace, when set, records per-shard step spans, the coordinator's
+	// barrier-wait and deliver spans, and one Flow per non-empty frame at
+	// flush. It observes the ledgers the run already keeps, so a traced run
+	// is byte-identical to an untraced one (obs package comment).
+	trace *obs.Tracer
 }
 
 // churnState is an installed delta batch awaiting absorption by Run.
@@ -71,6 +77,11 @@ func (e *Engine) Churn(d dist.GraphDelta, moveBudget int) {
 // ChurnMetrics returns the churn ledger of the most recent Run that
 // absorbed a delta.
 func (e *Engine) ChurnMetrics() ChurnMetrics { return *e.cm }
+
+// SetTracer installs (or, with nil, removes) the tracer subsequent Runs
+// record into. Like the metric sinks, the installation is shared with
+// WithWireLambda copies made afterwards.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.trace = t }
 
 // P returns the shard count.
 func (e *Engine) P() int { return e.p }
@@ -162,7 +173,8 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 		return dm
 	}
 	// flush closes the round's frames: prices each non-empty one (header +
-	// body) into the shard ledgers and resets the buffers.
+	// body) into the shard ledgers, emits its Flow record, and resets the
+	// buffers.
 	flush := func(round int) {
 		for s := 0; s < p; s++ {
 			for q := 0; q < p; q++ {
@@ -175,6 +187,7 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 				})) + int64(len(fb.buf))
 				sm.CrossFrameBytes += n
 				sm.PerShardBytes[s] += n
+				e.trace.Flow(round, s, q, n, int64(fb.count))
 				fb.buf = fb.buf[:0]
 				fb.count = 0
 			}
@@ -190,9 +203,11 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 		work[s] = make(chan int, 1)
 		go func(s int) {
 			for t := range work[s] {
+				sp := e.trace.Begin(obs.PhaseStep, t, s)
 				for _, v := range shards[s] {
 					d.Step(v, t) // no-op for halted nodes
 				}
+				sp.EndN(0, int64(len(shards[s])))
 				wg.Done()
 			}
 		}(s)
@@ -202,15 +217,20 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 		for s := 0; s < p; s++ {
 			work[s] <- t
 		}
+		bw := e.trace.Begin(obs.PhaseBarrierWait, t, -1)
 		wg.Wait()
+		bw.End()
 		// The previous round's hooks have all returned, so last round's
 		// decoded Vecs are dead — recycle their blocks before this
 		// delivery decodes into them. (The aliasing verifier inside
 		// Deliver re-hashes the old Vecs before any route decode writes,
 		// so CheckVecAliasing still sees them intact.)
 		fs.vecs.Reset()
+		cb0, cm0 := sm.CrossFrameBytes, sm.CrossMessages
+		dl := e.trace.Begin(obs.PhaseDeliver, t, -1)
 		d.Deliver(route)
 		flush(t)
+		dl.EndN(sm.CrossFrameBytes-cb0, sm.CrossMessages-cm0)
 	}
 
 	step(0)
