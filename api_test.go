@@ -185,6 +185,23 @@ func TestNetworkEngineAPI(t *testing.T) {
 	}
 }
 
+func TestParallelWorkersAPI(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 3, 23)
+	T := distkcore.RoundsFor(g.N(), 0.5)
+	ref, refMet := distkcore.RunDistributedOn(g, T, distkcore.SequentialEngine())
+	for _, w := range []int{1, 3, 8} {
+		res, met := distkcore.RunDistributedOn(g, T, distkcore.ParallelWorkers(w))
+		if met != refMet {
+			t.Fatalf("w=%d: metrics %+v, want %+v", w, met, refMet)
+		}
+		for v := range ref.B {
+			if math.Float64bits(res.B[v]) != math.Float64bits(ref.B[v]) {
+				t.Fatalf("w=%d: β(%d) diverges from sequential", w, v)
+			}
+		}
+	}
+}
+
 func TestRoundsForAndPowerGrid(t *testing.T) {
 	if distkcore.RoundsFor(1024, 1.0) != 10 {
 		t.Fatal("RoundsFor wrong")

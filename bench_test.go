@@ -103,7 +103,7 @@ func BenchmarkExactConvergence10k(b *testing.B) {
 	}
 }
 
-// --- engines: sequential loop vs goroutine-per-node channels ---
+// --- engines: sequential loop vs the batched worker pool ---
 
 func BenchmarkSeqEngine5k(b *testing.B) { benchEngine(b, dist.SeqEngine{}) }
 func BenchmarkParEngine5k(b *testing.B) { benchEngine(b, dist.ParEngine{}) }
@@ -124,6 +124,7 @@ func BenchmarkEngines(b *testing.B) {
 	}{
 		{"seq", dist.SeqEngine{}},
 		{"par", dist.ParEngine{}},
+		{"par4", dist.ParEngine{W: 4}},
 		{"shard4-greedy", shard.NewEngine(4, shard.Greedy{})},
 		{"shard16-greedy", shard.NewEngine(16, shard.Greedy{})},
 		{"shard16-hash", shard.NewEngine(16, shard.Hash{})},

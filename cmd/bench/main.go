@@ -1,17 +1,20 @@
 // Command bench runs the substrate and engine benchmarks that track the
 // ROADMAP performance trajectory and writes the results as JSON. CI runs it
-// on every push and uploads the file as an artifact (BENCH_PR7.json), so the
+// on every push and uploads the file as an artifact (BENCH_PR8.json), so the
 // repo accumulates comparable data points over time.
 //
 // Usage:
 //
-//	go run ./cmd/bench -out BENCH_PR7.json -label post-observability
-//	go run ./cmd/bench -against baseline.json -out BENCH_PR7.json
+//	go run ./cmd/bench -out BENCH_PR8.json -label post-worker-pool
+//	go run ./cmd/bench -against BENCH_PR7.json -out BENCH_PR8.json
 //	go run ./cmd/bench -trace bench-trace.json
 //
 // The benchmark set mirrors BenchmarkEngines (all four execution engines on
 // the same BarabasiAlbert coreness run — the net rows measure the wire
-// protocol over in-memory pipes and over real unix sockets), the substrate
+// protocol over in-memory pipes and over real unix sockets), the prod-scale
+// rows (PR 8: seq vs the worker pool vs the 4-shard cluster on one
+// BarabasiAlbert coreness run at -prodn nodes, 10⁶ by default — the scale
+// the worker-pool rewrite is for; 0 disables them), the substrate
 // micro-benchmarks (graph build, delivery loop) that the CSR/arena refactor
 // targets, the churn rows — what one churn event costs as a fresh
 // recompute, as an incremental dynamic.Maintainer repair, and as a churned
@@ -74,6 +77,7 @@ type Report struct {
 	CPUs      int                `json:"cpus"`
 	Nodes     int                `json:"nodes"`
 	Rounds    int                `json:"rounds"`
+	ProdNodes int                `json:"prod_nodes,omitempty"` // node count of the prod/* rows (0 = rows disabled)
 	Results   []Result           `json:"results"`
 	Baseline  *Report            `json:"baseline,omitempty"`
 	SpeedupNs map[string]float64 `json:"speedup_ns,omitempty"`   // baseline ns/op ÷ current
@@ -100,9 +104,10 @@ func (f *flood) Round(c *dist.Ctx, inbox []dist.Message) {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_PR7.json", "output JSON path ('-' for stdout)")
+		out      = flag.String("out", "BENCH_PR8.json", "output JSON path ('-' for stdout)")
 		label    = flag.String("label", "current", "label recorded in the report")
 		n        = flag.Int("n", 10_000, "BarabasiAlbert node count for the engine workload")
+		prodn    = flag.Int("prodn", 1_000_000, "BarabasiAlbert node count for the prod-scale rows (0 disables)")
 		against  = flag.String("against", "", "previous report to embed as baseline")
 		traceOut = flag.String("trace", "", cliutil.TraceUsage)
 	)
@@ -146,6 +151,35 @@ func main() {
 		})
 		rep.attrib(c.name, tr, func() {
 			core.RunDistributed(g, core.Options{Rounds: T}, cliutil.Traced(c.eng, tr))
+		})
+	}
+
+	// Prod-scale rows (PR 8): the workload the worker-pool rewrite exists
+	// for — one coreness run at -prodn nodes on the three engines a single
+	// machine would actually choose between. Only the parallel row gets a
+	// phase attribution pass (each traced run is another minute-plus at
+	// 10⁶ nodes); the step/deliver split is what the pool changes.
+	if *prodn > 0 {
+		pg := graph.BarabasiAlbert(*prodn, 4, 7)
+		pT := core.TForEpsilon(*prodn, 0.5)
+		rep.ProdNodes = *prodn
+		for _, c := range []struct {
+			name string
+			eng  dist.Engine
+		}{
+			{"prod/seq", dist.SeqEngine{}},
+			{"prod/par", dist.ParEngine{}},
+			{"prod/shard4-greedy", shard.NewEngine(4, shard.Greedy{})},
+		} {
+			c := c
+			rep.add(c.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					core.RunDistributed(pg, core.Options{Rounds: pT}, c.eng)
+				}
+			})
+		}
+		rep.attrib("prod/par", tr, func() {
+			core.RunDistributed(pg, core.Options{Rounds: pT}, cliutil.Traced(dist.ParEngine{}, tr))
 		})
 	}
 

@@ -19,7 +19,7 @@
 // evaluation (exact cores, exact densest subsets and locally-dense
 // decompositions, exact unit-weight orientations) and a synchronous
 // message-passing runtime with four byte-identical execution engines:
-// sequential (the reference), goroutine-per-node, sharded cluster, and a
+// sequential (the reference), batched worker pool, sharded cluster, and a
 // real-socket cluster (coordinator + P workers over pipes or sockets; see
 // cmd/cluster for the multi-process form). Both cluster engines absorb
 // edge churn without re-sharding from scratch: install a GraphDelta with
@@ -171,9 +171,17 @@ func TracedEngine(eng Engine, tr *Tracer) Engine { return cliutil.Traced(eng, tr
 // reference scheduler every protocol is tested against.
 func SequentialEngine() Engine { return dist.SeqEngine{} }
 
-// ParallelEngine returns the goroutine-per-node engine with per-round
-// barriers. It produces executions byte-identical to SequentialEngine's.
+// ParallelEngine returns the batched worker-pool engine: GOMAXPROCS
+// long-lived workers own contiguous node ranges and fill the shared inbox
+// arena in parallel, with converged fusion-safe regions skipping rounds
+// entirely (DESIGN.md §12). It produces executions byte-identical to
+// SequentialEngine's.
 func ParallelEngine() Engine { return dist.ParEngine{} }
+
+// ParallelWorkers is ParallelEngine with an explicit worker count w >= 1
+// (the -engine par:W spelling of the CLIs). The worker count changes the
+// schedule, never the execution: every w yields the same bytes.
+func ParallelWorkers(w int) Engine { return dist.ParEngine{W: w} }
 
 // ShardedEngine returns the sharded cluster engine: nodes are partitioned
 // into p shards by part (nil means HashPartitioner), each shard runs as
@@ -334,7 +342,7 @@ func WeakDensest(g *Graph, eps float64) *WeakDensestResult {
 }
 
 // RunDistributed executes the compact elimination procedure as a real
-// message-passing protocol (one goroutine per node when parallel is true)
+// message-passing protocol (the worker-pool engine when parallel is true)
 // and reports communication metrics alongside the result. It is shorthand
 // for RunDistributedOn with SequentialEngine or ParallelEngine.
 func RunDistributed(g *Graph, T int, parallel bool) (CorenessResult, Metrics) {

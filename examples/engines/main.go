@@ -1,5 +1,5 @@
 // Engines: the same elimination protocol executed on the sequential
-// reference engine, the goroutine-per-node parallel engine, and the
+// reference engine, the worker-pool parallel engine, and the
 // asynchronous event-driven simulator — with the communication metrics
 // each one reports, and a traced sharded run showing the per-phase
 // breakdown the observability layer collects.

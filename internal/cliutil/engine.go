@@ -12,7 +12,7 @@ import (
 
 // EngineUsage is the -engine flag help text shared by cmd/kcore and
 // cmd/repro.
-const EngineUsage = "execution engine: seq | par | shard:P[:hash|range|greedy] | net:P[:part[:pipe|unix|tcp]] (partitioner default: greedy)"
+const EngineUsage = "execution engine: seq | par[:W] | shard:P[:hash|range|greedy] | net:P[:part[:pipe|unix|tcp]] (par workers default: GOMAXPROCS; partitioner default: greedy)"
 
 // ParsePartitioner resolves a partitioner name. It is the single place
 // partitioner names are spelled, shared by the -engine flag, cmd/cluster's
@@ -31,9 +31,10 @@ func ParsePartitioner(name string) (shard.Partitioner, error) {
 }
 
 // ParseEngine resolves an -engine flag value to a dist.Engine. The empty
-// string and "seq" mean the sequential reference engine, "par" the
-// goroutine-per-node engine, "shard:P[:partitioner]" the sharded cluster
-// engine with P shards, and "net:P[:partitioner[:transport]]" the
+// string and "seq" mean the sequential reference engine, "par[:W]" the
+// worker-pool parallel engine with W workers (default: GOMAXPROCS),
+// "shard:P[:partitioner]" the sharded cluster engine with P shards, and
+// "net:P[:partitioner[:transport]]" the
 // socket-cluster engine — P workers speaking the real wire protocol over
 // net.Pipe, unix-domain or TCP loopback connections (transport defaults to
 // pipe; cmd/cluster is the multi-process form). Partitioners default to
@@ -48,6 +49,16 @@ func ParseEngine(spec string) (dist.Engine, error) {
 	}
 	parts := strings.Split(s, ":")
 	kind := parts[0]
+	if kind == "par" {
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("unknown engine %q (want %s)", spec, EngineUsage)
+		}
+		w, err := strconv.Atoi(parts[1])
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad worker count in %q: want par:W with W >= 1", spec)
+		}
+		return dist.ParEngine{W: w}, nil
+	}
 	if kind != "shard" && kind != "net" {
 		return nil, fmt.Errorf("unknown engine %q (want %s)", spec, EngineUsage)
 	}

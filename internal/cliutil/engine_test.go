@@ -14,6 +14,8 @@ func TestParseEngine(t *testing.T) {
 		"seq":               "seq",
 		"par":               "par",
 		" Par ":             "par",
+		"par:8":             "par:8",
+		"PAR:2":             "par:2",
 		"shard:4":           "shard:4/greedy",
 		"shard:16:hash":     "shard:16/hash",
 		"shard:2:range":     "shard:2/range",
@@ -34,7 +36,7 @@ func TestParseEngine(t *testing.T) {
 		case dist.SeqEngine:
 			got = "seq"
 		case dist.ParEngine:
-			got = "par"
+			got = e.Name()
 		case *shard.Engine:
 			got = e.Name()
 		case *dnet.Engine:
@@ -47,7 +49,8 @@ func TestParseEngine(t *testing.T) {
 		}
 	}
 	for _, bad := range []string{
-		"nope", "shard", "shard:0", "shard:x", "shard:4:metis", "shard:4:hash:extra",
+		"nope", "par:0", "par:x", "par:2:extra",
+		"shard", "shard:0", "shard:x", "shard:4:metis", "shard:4:hash:extra",
 		"net", "net:0", "net:x", "net:4:metis", "net:4:hash:udp", "net:4:hash:pipe:extra",
 	} {
 		if _, err := ParseEngine(bad); err == nil {

@@ -6,8 +6,11 @@
 //     Round hooks), a Ctx handed to every hook (topology queries plus
 //     Broadcast/Send/Halt), and an Engine that drives all n programs in
 //     lock-step rounds. This package provides SeqEngine, a deterministic
-//     single-threaded scheduler, and ParEngine, one goroutine per node with
-//     per-round barriers. Engines outside the package register through the
+//     single-threaded scheduler, and ParEngine, a batched worker pool (W
+//     long-lived workers owning contiguous node ranges, with per-round
+//     barriers, a deterministic parallel inbox fill, and round fusion for
+//     Fusible programs — see par.go and DESIGN.md §12). Engines outside the
+//     package register through the
 //     same interface by building on Driver, which exposes the shared
 //     step/deliver machinery without giving up the determinism contract:
 //     internal/shard (P worker goroutines, batched cross-shard frames, via

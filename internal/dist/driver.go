@@ -51,6 +51,31 @@ func (d *Driver) Step(v graph.NodeID, t int) {
 	}
 }
 
+// StepRange runs Step for every node in [lo, hi) in ascending order for
+// round t and returns the number of hooks invoked (halted nodes are
+// skipped). It is the range-granular form of Step that the worker-pool
+// parallel engine schedules over contiguous CSR blocks; engines built on
+// the Driver (a sharded maintainer, a NUMA-pinned pool) get the same
+// batched shape without re-deriving the loop. Concurrent StepRanges are
+// safe for disjoint ranges; the engine must barrier before Deliver.
+func (d *Driver) StepRange(lo, hi graph.NodeID, t int) int {
+	stepped := 0
+	for v := lo; v < hi; v++ {
+		c := &d.s.ctxs[v]
+		if c.halted {
+			continue
+		}
+		c.round = t
+		if t == 0 {
+			d.s.progs[v].Init(c)
+		} else {
+			d.s.progs[v].Round(c, d.s.inboxOf(v))
+		}
+		stepped++
+	}
+	return stepped
+}
+
 // Sends invokes fn for every message node v has buffered since the last
 // Deliver, in send order, without consuming anything. It is the transport
 // tap of the seam: an engine that ships a shard's traffic over a real wire

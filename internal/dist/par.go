@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 
 	"distkcore/internal/graph"
@@ -8,24 +10,86 @@ import (
 	"distkcore/internal/quantize"
 )
 
-// ParEngine executes the protocol with one long-lived goroutine per node
-// and a barrier between rounds: within a round all programs step
-// concurrently against the previous round's messages, then the coordinator
-// delivers the buffered sends single-threaded. Because each Program only
-// touches its own state during a step and inboxes are assembled in sender
-// order, the execution — results and Metrics — is byte-identical to
-// SeqEngine's (asserted by TestParEngineMatchesSeqEngine and the dist
-// package's own equivalence tests).
+// ParEngine is the shared-memory parallel engine: a pool of W long-lived
+// workers (default runtime.GOMAXPROCS(0)), each owning one contiguous,
+// degree-balanced range of node IDs. A round is three barriered phases —
+// step (each worker runs its range's hooks), count (each worker counts its
+// senders' messages per receiver), fill (each worker writes its senders'
+// messages into precomputed disjoint slots of the shared inbox arena) —
+// with the cheap glue (prefix offsets, arena sizing, metric merge) run by
+// the coordinator between barriers. Because ranges are contiguous and
+// ascending, "fill per worker" IS the deterministic global fill order of
+// the package (ascending sender ID, ties in send order), so executions —
+// values, inbox orders, Metrics — are byte-identical to SeqEngine's
+// (DESIGN.md §12 has the four-step argument; the pinned metrics rows and
+// the dist equivalence tests hold the engine to it).
 //
-// The zero value is ready to use; Lam and Trace are as in SeqEngine (the
-// step span covers the whole concurrent wave, barrier included).
+// On top of the pool the engine fuses rounds: a node whose Program opted in
+// through Fusible and whose inbox is empty is skipped without calling Round
+// — by contract the call would be a pure no-op — and a whole range all of
+// whose live nodes are fusible skips its step (and, having sent nothing,
+// its count and fill) the moment its slice of the inbox arena is empty, an
+// O(1) test on the arena offsets. Converged regions therefore cost the
+// coordinator a few loads per round instead of a wave of no-op hooks.
+//
+// The zero value is ready to use and runs with GOMAXPROCS workers; W == 1
+// (or a single-CPU machine) runs the whole schedule inline on the calling
+// goroutine — no pool, no channels. Lam and Trace are as in SeqEngine,
+// except that step spans are per worker (round, worker) rather than one
+// whole-wave span; deliver spans are per round, identical to seq's. Stats,
+// when non-nil, receives the pool/fusion ledger of each Run.
 type ParEngine struct {
+	// W is the worker count; <= 0 means runtime.GOMAXPROCS(0). The count is
+	// capped at the node count (empty ranges would only cost barriers).
+	W     int
 	Lam   quantize.Lambda
 	Trace *obs.Tracer
+	// Stats, when set, is overwritten by every Run with the pool's ledger —
+	// worker count and fusion counters. Like the engine itself, the sink is
+	// not safe for use from concurrent Runs.
+	Stats *ParStats
+}
+
+// ParStats is the pool/fusion ledger of one ParEngine.Run. All counters are
+// deterministic: they are functions of the execution, not of the scheduler.
+type ParStats struct {
+	// Workers is the effective worker count of the run (after the
+	// GOMAXPROCS default and the node-count cap).
+	Workers int
+	// SteppedNodes counts Init/Round invocations actually made.
+	SteppedNodes int64
+	// FusedNodeRounds counts (node, round) pairs skipped by round fusion:
+	// live fusible nodes with an empty inbox whose Round was never called.
+	FusedNodeRounds int64
+	// FusedRanges counts whole-range skips: rounds in which a worker was
+	// never woken because every live node it owns was fusible with an empty
+	// inbox (the O(1) dirty-bitmap fast path).
+	FusedRanges int64
+}
+
+// Fusible is an optional capability a Program implements to enable round
+// fusion. RoundFusionSafe must only return true if calling Round with an
+// empty inbox is a pure no-op for this program, in every reachable state:
+// no sends, no Halt, no change to the program's own state, no writes to
+// shared sinks, and no dependence on Ctx.Round(). Under that contract an
+// engine may skip empty-inbox Round invocations entirely — the execution
+// (values, Metrics, message order) is provably unchanged, because a skipped
+// invocation would have contributed nothing to it. Programs that act on
+// silence — timeout logic, round-counted halting, per-round bookkeeping —
+// must not opt in; the reference SeqEngine never fuses, so the cross-engine
+// equivalence tests catch a false promise on any fused graph where the
+// difference is observable.
+type Fusible interface {
+	RoundFusionSafe() bool
 }
 
 // Name identifies the engine in experiment tables and CLI flags.
-func (ParEngine) Name() string { return "par" }
+func (e ParEngine) Name() string {
+	if e.W > 0 {
+		return fmt.Sprintf("par:%d", e.W)
+	}
+	return "par"
+}
 
 // WithWireLambda implements Engine.
 func (e ParEngine) WithWireLambda(lam quantize.Lambda) Engine {
@@ -33,56 +97,355 @@ func (e ParEngine) WithWireLambda(lam quantize.Lambda) Engine {
 	return e
 }
 
+// parOp is a phase opcode on the pool's job channels.
+type parOp uint8
+
+const (
+	opStep parOp = iota
+	opCount
+	opFill
+)
+
+// parJob is one phase of work handed to a worker.
+type parJob struct {
+	op parOp
+	t  int
+}
+
+// parWorker is the per-worker state of one run. Everything here is owned by
+// exactly one goroutine during a phase and read by the coordinator only
+// between barriers, so none of it needs locking.
+type parWorker struct {
+	lo, hi int // owned node range [lo, hi)
+	// alive is the number of non-halted nodes in the range; liveNonFusible
+	// the subset whose programs did not opt into fusion. Both are maintained
+	// exactly: halts can only happen inside this range's own step phase.
+	alive          int
+	liveNonFusible int
+	// ran records whether the range stepped this round (false when the
+	// whole range was fused); a range that did not step sent nothing, so
+	// its count and fill phases are skipped too and its count row is stale.
+	ran bool
+	// fused accumulates per-node skips made on the slow (mixed-range) path.
+	fused int64
+	// stepped accumulates hook invocations.
+	stepped int64
+	// msgs/words/wire are the fill phase's metric partials for one round,
+	// merged by the coordinator in worker order.
+	msgs, words, wire int64
+}
+
+// parRun is the schedule state shared by the coordinator and the pool.
+type parRun struct {
+	e       ParEngine
+	s       *sim
+	w       int
+	ws      []parWorker
+	fusible []bool
+	// cnt is the two-level counting matrix: row i (cnt[i*n:(i+1)*n]) is
+	// worker i's per-receiver message count for the current round. cur is
+	// the matching fill cursor matrix: cur[i*n+v] is the next arena slot for
+	// a message from a range-i sender to receiver v. Rows of workers that
+	// did not step are stale and skipped by the prefix pass.
+	cnt, cur []int32
+	stats    ParStats
+}
+
 // Run implements Engine.
 func (e ParEngine) Run(g *graph.Graph, factory Factory, maxRounds int) Metrics {
 	s := newSim(g, e.Lam, factory)
 	n := g.N()
-
-	// Each node goroutine blocks on its work channel; a round value of 0
-	// means "run Init". The WaitGroup is the per-round barrier: Wait()
-	// also establishes the happens-before edge that lets the coordinator
-	// read contexts and the programs' sink writes safely.
-	work := make([]chan int, n)
-	var wg sync.WaitGroup
-	for v := 0; v < n; v++ {
-		work[v] = make(chan int, 1)
-		go func(v int) {
-			c := &s.ctxs[v]
-			for t := range work[v] {
-				c.round = t
-				if t == 0 {
-					s.progs[v].Init(c)
-				} else {
-					s.progs[v].Round(c, s.inboxOf(v))
-				}
-				wg.Done()
-			}
-		}(v)
+	w := e.W
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+
+	r := &parRun{e: e, s: s, w: w, ws: make([]parWorker, w)}
+	r.cnt = make([]int32, w*n)
+	r.cur = make([]int32, w*n)
+	r.stats.Workers = w
+
+	// Fusion capability per node, fixed at construction: the contract is a
+	// property of the program, not of a round.
+	r.fusible = make([]bool, n)
+	for v := 0; v < n; v++ {
+		if f, ok := s.progs[v].(Fusible); ok && f.RoundFusionSafe() {
+			r.fusible[v] = true
+		}
+	}
+
+	// Degree-balanced contiguous ranges: split the CSR node order so every
+	// worker owns about the same arc mass (1 + deg(v) per node, so isolated
+	// nodes still spread). Contiguity is what makes both the O(1) per-range
+	// inbox-emptiness test and the deterministic parallel fill possible.
+	total := int64(n)
+	for v := 0; v < n; v++ {
+		total += int64(g.Degree(v))
+	}
+	lo, acc := 0, int64(0)
+	for i := 0; i < w; i++ {
+		target := total * int64(i+1) / int64(w)
+		// Leave at least one node for every worker after this one (w <= n,
+		// so that is always feasible), and take at least one ourselves.
+		maxHi := n - (w - 1 - i)
+		hi := lo
+		for hi < maxHi && (hi == lo || acc < target) {
+			acc += 1 + int64(g.Degree(hi))
+			hi++
+		}
+		ws := &r.ws[i]
+		ws.lo, ws.hi = lo, hi
+		ws.alive = hi - lo
+		for v := lo; v < hi; v++ {
+			if !r.fusible[v] {
+				ws.liveNonFusible++
+			}
+		}
+		lo = hi
+	}
+
+	// The pool. Workers block on their job channel and exit when it closes;
+	// the single deferred close owns the goroutines' lifetime on every exit
+	// path, so an early-halting run (or a future error return) leaks
+	// nothing. w == 1 runs every job inline instead — no goroutines at all.
+	var wg sync.WaitGroup
+	var jobs []chan parJob
+	if w > 1 {
+		jobs = make([]chan parJob, w)
+		for i := 0; i < w; i++ {
+			jobs[i] = make(chan parJob, 1)
+			go func(i int) {
+				for jb := range jobs[i] {
+					r.runJob(i, jb)
+					wg.Done()
+				}
+			}(i)
+		}
+		defer func() {
+			for _, c := range jobs {
+				close(c)
+			}
+		}()
+	}
+	dispatch := func(i int, jb parJob) {
+		if w == 1 {
+			r.runJob(i, jb)
+			return
+		}
+		wg.Add(1)
+		jobs[i] <- jb
+	}
+	barrier := func() {
+		if w > 1 {
+			wg.Wait()
+		}
+	}
+
 	step := func(t int) {
-		sp := e.Trace.Begin(obs.PhaseStep, t, -1)
-		stepped := 0
-		for v := 0; v < n; v++ {
-			if s.ctxs[v].halted {
+		for i := range r.ws {
+			ws := &r.ws[i]
+			// Round fusion, range granularity: the dirty bit of range i is
+			// "its slice of the inbox arena is non-empty" — one subtraction
+			// on the prefix offsets, possible only because ranges are
+			// contiguous. A clean range all of whose live nodes are fusible
+			// steps nothing, and having sent nothing last time it reached
+			// this state, receives no count/fill work either.
+			if t > 0 && ws.liveNonFusible == 0 &&
+				s.inboxOff[ws.hi] == s.inboxOff[ws.lo] {
+				ws.ran = false
+				r.stats.FusedRanges++
+				r.stats.FusedNodeRounds += int64(ws.alive)
 				continue
 			}
-			wg.Add(1)
-			work[v] <- t
-			stepped++
+			ws.ran = true
+			dispatch(i, parJob{op: opStep, t: t})
 		}
-		wg.Wait()
-		sp.EndN(0, int64(stepped))
-		s.traceDeliver(e.Trace, t, nil)
+		barrier()
+	}
+
+	deliver := func(t int) {
+		wb0, mg0 := s.met.WireBytes, s.met.Messages
+		sp := e.Trace.Begin(obs.PhaseDeliver, t, -1)
+		if CheckVecAliasing {
+			// The aliasing verifier keeps cross-round state in append order;
+			// the test-only mode takes the sequential fill.
+			s.deliverVia(nil)
+		} else {
+			r.parDeliver(t, dispatch, barrier)
+		}
+		sp.EndN(s.met.WireBytes-wb0, s.met.Messages-mg0)
 	}
 
 	step(0)
+	deliver(0)
 	rounds := 0
 	for t := 1; t <= maxRounds && s.alive > 0; t++ {
 		rounds = t
 		step(t)
+		deliver(t)
 	}
-	for v := 0; v < n; v++ {
-		close(work[v])
+	for i := range r.ws {
+		r.stats.SteppedNodes += r.ws[i].stepped
+		r.stats.FusedNodeRounds += r.ws[i].fused
+	}
+	if e.Stats != nil {
+		*e.Stats = r.stats
 	}
 	return s.finish(rounds)
+}
+
+// runJob executes one phase of one worker's schedule.
+func (r *parRun) runJob(i int, jb parJob) {
+	switch jb.op {
+	case opStep:
+		r.stepRange(i, jb.t)
+	case opCount:
+		r.countRange(i)
+	case opFill:
+		r.fillRange(i)
+	}
+}
+
+// stepRange runs the hooks of worker i's live nodes for round t, skipping
+// fused nodes (live, opted in, empty inbox) on the per-node slow path, and
+// maintains the range's alive/liveNonFusible ledger as hooks halt.
+func (r *parRun) stepRange(i, t int) {
+	s, ws := r.s, &r.ws[i]
+	sp := r.e.Trace.Begin(obs.PhaseStep, t, i)
+	stepped := 0
+	for v := ws.lo; v < ws.hi; v++ {
+		c := &s.ctxs[v]
+		if c.halted {
+			continue
+		}
+		if t > 0 && r.fusible[v] && s.inboxOff[v+1] == s.inboxOff[v] {
+			ws.fused++
+			continue
+		}
+		c.round = t
+		if t == 0 {
+			s.progs[v].Init(c)
+		} else {
+			s.progs[v].Round(c, s.inboxOf(v))
+		}
+		stepped++
+		if c.halted {
+			ws.alive--
+			if !r.fusible[v] {
+				ws.liveNonFusible--
+			}
+		}
+	}
+	ws.stepped += int64(stepped)
+	sp.EndN(0, int64(stepped))
+}
+
+// countRange zeroes worker i's count row and counts its senders' messages
+// per live receiver — the first half of the deterministic two-level fill.
+func (r *parRun) countRange(i int) {
+	s, ws := r.s, &r.ws[i]
+	n := len(s.ctxs)
+	row := r.cnt[i*n : (i+1)*n]
+	for j := range row {
+		row[j] = 0
+	}
+	for v := ws.lo; v < ws.hi; v++ {
+		for _, env := range s.ctxs[v].out {
+			if !s.ctxs[env.to].halted {
+				row[env.to]++
+			}
+		}
+	}
+}
+
+// fillRange moves worker i's senders' messages into the arena slots the
+// prefix pass assigned it — disjoint from every other worker's slots by
+// construction — accumulating the range's metric partials, and resets the
+// send queues it owns.
+func (r *parRun) fillRange(i int) {
+	s, ws := r.s, &r.ws[i]
+	n := len(s.ctxs)
+	cur := r.cur[i*n : (i+1)*n]
+	var msgs, words, wire int64
+	for v := ws.lo; v < ws.hi; v++ {
+		c := &s.ctxs[v]
+		for _, env := range c.out {
+			msgs++
+			words += int64(env.m.Words())
+			wire += int64(WireSize(s.lam, env.m))
+			if !s.ctxs[env.to].halted {
+				s.inboxArena[cur[env.to]] = env.m
+				cur[env.to]++
+			}
+		}
+		c.out = c.out[:0]
+	}
+	ws.msgs, ws.words, ws.wire = msgs, words, wire
+}
+
+// parDeliver is the pool's delivery: parallel count, coordinator prefix,
+// parallel fill, coordinator merge. The inbox layout it produces is
+// byte-identical to deliverVia(nil)'s: receiver v's inbox holds range-0
+// senders' messages first, then range-1's, and so on — which, ranges being
+// contiguous ascending ID blocks, is exactly "ascending sender ID, ties in
+// send order".
+func (r *parRun) parDeliver(t int, dispatch func(int, parJob), barrier func()) {
+	s, w := r.s, r.w
+	n := len(s.ctxs)
+	for i := range r.ws {
+		if r.ws[i].ran {
+			dispatch(i, parJob{op: opCount, t: t})
+		}
+	}
+	barrier()
+	// Prefix pass (coordinator): walk receivers in ascending ID and, within
+	// one receiver, workers in ascending index, assigning each (worker,
+	// receiver) cell its start cursor. Rows of ranges that did not step are
+	// stale and contribute nothing.
+	rows := make([]int, 0, w)
+	for i := range r.ws {
+		if r.ws[i].ran {
+			rows = append(rows, i*n)
+		}
+	}
+	total := int32(0)
+	for v := 0; v < n; v++ {
+		s.inboxOff[v] = total
+		for _, base := range rows {
+			r.cur[base+v] = total
+			total += r.cnt[base+v]
+		}
+	}
+	s.inboxOff[n] = total
+	if cap(s.inboxArena) < int(total) {
+		s.inboxArena = make([]Message, total)
+	} else {
+		s.inboxArena = s.inboxArena[:total]
+	}
+	for i := range r.ws {
+		if r.ws[i].ran {
+			dispatch(i, parJob{op: opFill, t: t})
+		}
+	}
+	barrier()
+	// Merge the metric partials in worker order (they are integer sums, so
+	// any order would do — worker order keeps it obviously deterministic)
+	// and retire the round's halts exactly as the sequential deliver does.
+	for i := range r.ws {
+		ws := &r.ws[i]
+		if !ws.ran {
+			continue
+		}
+		s.met.Messages += ws.msgs
+		s.met.Words += ws.words
+		s.met.WireBytes += ws.wire
+		ws.msgs, ws.words, ws.wire = 0, 0, 0
+	}
+	s.alive -= int(s.haltedNow.Swap(0))
 }

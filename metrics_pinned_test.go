@@ -78,13 +78,22 @@ func TestPinnedEngineMetrics(t *testing.T) {
 		// The socket-cluster engine is pinned to the same absolute captures:
 		// a real transport may not move the numbers either.
 		"net2greedy": dnet.NewEngine(2, shard.Greedy{}),
+		// The worker-pool parallel engine (PR 8) is pinned at explicit
+		// worker counts too: concurrent range stepping and the parallel
+		// arena fill may not move a byte relative to the captures.
+		"par4": dist.ParEngine{W: 4},
+		"par8": dist.ParEngine{W: 8},
 	}
 	// The captures are engine-invariant by contract, so the net engine's
-	// expected rows are the seq rows verbatim.
+	// and the explicit-worker-count pool's expected rows are the seq rows
+	// verbatim.
 	for _, w := range want[:len(want):len(want)] {
 		if w.engine == "seq" {
-			w.engine = "net2greedy"
-			want = append(want, w)
+			for _, eng := range []string{"net2greedy", "par4", "par8"} {
+				row := w
+				row.engine = eng
+				want = append(want, row)
+			}
 		}
 	}
 	for _, gg := range pinnedGraphs() {

@@ -86,6 +86,7 @@ func TestTracingPreservesExecutions(t *testing.T) {
 	}{
 		{"seq", func(tr *obs.Tracer) dist.Engine { return dist.SeqEngine{Trace: tr} }},
 		{"par", func(tr *obs.Tracer) dist.Engine { return dist.ParEngine{Trace: tr} }},
+		{"par4", func(tr *obs.Tracer) dist.Engine { return dist.ParEngine{W: 4, Trace: tr} }},
 		{"shard3", func(tr *obs.Tracer) dist.Engine {
 			e := shard.NewEngine(3, shard.Greedy{})
 			e.SetTracer(tr)
