@@ -79,7 +79,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cluster worker -listen unix:/path.sock|tcp:host:port [-session]
-  cluster coord  (-workers addr,addr,... | -spawn P) -gen ba -n 10000 [-seed S] [-eps E | -T T] [-lambda L] [-part NAME] [-churn OPS[:SEED] [-budget M]] [-verify] [-json FILE] [-trace FILE]
+  cluster coord  (-workers addr,addr,... | -spawn P) -gen ba -n 10000 [-seed S] [-eps E | -T T] [-lambda L] [-part NAME] [-churn OPS[:SEED] [-budget M]] [-recover] [-kill W:R] [-verify] [-json FILE] [-trace FILE]
   cluster serve  (-workers addr,addr,... | -spawn P) -control unix:/path.sock -gen ba -n 10000 [-seed S] [-eps E | -T T] [-part NAME] [-trace FILE] [-debug-addr host:port]
   cluster push   -connect unix:/path.sock -gen ba -n 10000 [-seed S] [-eps E | -T T] -epochs E [-ops N] [-churnseed S] [-budget M] [-verify] [-shutdown]
   cluster sub    -connect unix:/path.sock -topics coreness:5,topk:3 [-count N]
@@ -225,6 +225,8 @@ func runCoord(args []string) {
 		churn    = fs.String("churn", "", cliutil.ChurnUsage)
 		budget   = fs.Int("budget", 0, "rebalance move budget under -churn (0 = whole frontier)")
 		verify   = fs.Bool("verify", false, "run the sequential engine locally and demand byte-identical Metrics and values")
+		recov    = fs.Bool("recover", false, "arm crash recovery (DESIGN.md §13): workers checkpoint every round and a dead worker is re-exec'd and restored instead of failing the run (requires -spawn)")
+		killSpec = fs.String("kill", "", "W:R — SIGKILL spawned worker W at the top of round R, the fault-injection half of the recovery smoke (requires -spawn)")
 		jsonOut  = fs.String("json", "", "write a JSON run report to this file")
 		traceOut = fs.String("trace", "", cliutil.TraceUsage)
 	)
@@ -252,6 +254,13 @@ func runCoord(args []string) {
 		fatal(err)
 	}
 	delta := dist.RandomChurn(g, churnOps, churnSeed)
+	killW, killR, err := parseKillSpec(*killSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if (*recov || *killSpec != "") && *spawn <= 0 {
+		fatal(fmt.Errorf("-recover and -kill only work with -spawn (the coordinator must own the worker processes)"))
+	}
 
 	// Everything that acquires cluster resources runs inside this closure
 	// and returns errors, so the cleanup below always executes — fatal's
@@ -260,27 +269,38 @@ func runCoord(args []string) {
 	var (
 		procs []*exec.Cmd
 		dir   string
+		// killedByUs marks processes this harness SIGKILLed (-kill) — their
+		// non-zero exit is the point, not a failure.
+		killedByUs = map[*exec.Cmd]bool{}
 	)
 	runErr := func() error {
 		var addrs []string
+		// spawnWorker starts one worker subprocess listening on a; the
+		// respawn path reuses it with a fresh socket name.
+		spawnWorker := func(a string) (*exec.Cmd, error) {
+			exe, err := os.Executable()
+			if err != nil {
+				return nil, err
+			}
+			cmd := exec.Command(exe, "worker", "-listen", a)
+			cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+			if err := cmd.Start(); err != nil {
+				return nil, err
+			}
+			procs = append(procs, cmd)
+			return cmd, nil
+		}
 		switch {
 		case *spawn > 0:
 			var err error
 			if dir, err = os.MkdirTemp("", "dkc-cluster-"); err != nil {
 				return err
 			}
-			exe, err := os.Executable()
-			if err != nil {
-				return err
-			}
 			for i := 0; i < *spawn; i++ {
 				a := fmt.Sprintf("unix:%s", filepath.Join(dir, fmt.Sprintf("w%d.sock", i)))
-				cmd := exec.Command(exe, "worker", "-listen", a)
-				cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
-				if err := cmd.Start(); err != nil {
+				if _, err := spawnWorker(a); err != nil {
 					return err
 				}
-				procs = append(procs, cmd)
 				addrs = append(addrs, a)
 			}
 		case *workers != "":
@@ -289,6 +309,9 @@ func runCoord(args []string) {
 			return fmt.Errorf("need -workers or -spawn")
 		}
 		p := len(addrs)
+		if *killSpec != "" && killW >= p {
+			return fmt.Errorf("-kill worker %d of %d", killW, p)
+		}
 		assign := part.Partition(g, p)
 		// Under -churn the run executes on the mutated graph with the
 		// incrementally rebalanced assignment; the handshake pins both and
@@ -314,6 +337,11 @@ func runCoord(args []string) {
 			}
 			conns[i] = dnet.NewConn(nc)
 			defer conns[i].Close()
+			if *recov {
+				// Deadlines on every conn: a run that can survive deaths must
+				// detect them as timeouts, never block forever on one.
+				conns[i].SetIOTimeout(30 * time.Second)
+			}
 		}
 
 		// The tracer sees the coordinator's side only — barrier waits, frame
@@ -323,8 +351,7 @@ func runCoord(args []string) {
 		if *traceOut != "" {
 			tracer = obs.NewTracer()
 		}
-		start := time.Now()
-		met, rep, err := dnet.RunCoordinator(conns, dnet.Spec{
+		rspec := dnet.Spec{
 			P:          p,
 			MaxRounds:  T,
 			Lam:        lam,
@@ -337,13 +364,57 @@ func runCoord(args []string) {
 			Delta:      delta,
 			MoveBudget: *budget,
 			Trace:      tracer,
-		})
+		}
+		if *recov {
+			rspec.Recover = true
+			rspec.IOTimeout = 30 * time.Second
+			// Respawn re-execs the worker binary on a fresh socket in the run
+			// directory; the coordinator then re-handshakes and restores it
+			// from its last retained checkpoint. Called from the coordinator
+			// goroutine, so appending to procs is race-free.
+			respawns := 0
+			rspec.Respawn = func(s int) (*dnet.Conn, error) {
+				respawns++
+				a := fmt.Sprintf("unix:%s", filepath.Join(dir, fmt.Sprintf("w%d-r%d.sock", s, respawns)))
+				if _, err := spawnWorker(a); err != nil {
+					return nil, err
+				}
+				network, addr, err := splitAddr(a)
+				if err != nil {
+					return nil, err
+				}
+				nc, err := dialRetry(network, addr, 5*time.Second)
+				if err != nil {
+					return nil, fmt.Errorf("respawned worker %d at %s: %w", s, a, err)
+				}
+				cn := dnet.NewConn(nc)
+				cn.SetIOTimeout(rspec.IOTimeout)
+				fmt.Printf("cluster: respawned worker %d on %s\n", s, a)
+				return cn, nil
+			}
+		}
+		if *killSpec != "" {
+			rspec.OnRound = func(t int) {
+				if t != killR {
+					return
+				}
+				cmd := procs[killW]
+				if killedByUs[cmd] {
+					return
+				}
+				killedByUs[cmd] = true
+				cmd.Process.Kill()
+				fmt.Printf("cluster: SIGKILLed worker %d at round %d\n", killW, t)
+			}
+		}
+		start := time.Now()
+		met, rep, err := dnet.RunCoordinator(conns, rspec)
 		if err != nil {
 			return err
 		}
 		elapsed := time.Since(start)
 		for _, cmd := range procs {
-			if err := cmd.Wait(); err != nil {
+			if err := cmd.Wait(); err != nil && !killedByUs[cmd] {
 				return fmt.Errorf("worker process: %w", err)
 			}
 		}
@@ -426,6 +497,25 @@ func writeReport(path, spec string, p int, part string, T int, met dist.Metrics,
 		rep.Phases = tracer.Trace().PhaseTotals()
 	}
 	return obs.WriteReportFile(path, rep)
+}
+
+// parseKillSpec parses the -kill fault spec "W:R" into a worker index and a
+// round. Empty means no kill; W and R must be non-negative.
+func parseKillSpec(s string) (w, r int, err error) {
+	if s == "" {
+		return -1, -1, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -kill spec %q (want W:R)", s)
+	}
+	if w, err = strconv.Atoi(parts[0]); err != nil || w < 0 {
+		return 0, 0, fmt.Errorf("bad worker in -kill spec %q", s)
+	}
+	if r, err = strconv.Atoi(parts[1]); err != nil || r < 0 {
+		return 0, 0, fmt.Errorf("bad round in -kill spec %q", s)
+	}
+	return w, r, nil
 }
 
 // dialRetry dials with a retry loop, giving spawned workers time to bind

@@ -349,6 +349,7 @@ func runStat(args []string) {
 	fmt.Printf("pushes        %d (rejected %d)\n", st.Pushes, st.Rejected)
 	fmt.Printf("changed       %d values over %d delta bytes\n", st.Changed, st.DeltaBytes)
 	fmt.Printf("notifications %d\n", st.Notifications)
+	fmt.Printf("recoveries    %d\n", st.Recoveries)
 	fmt.Printf("epoch time    %s total", time.Duration(st.EpochMicros)*time.Microsecond)
 	if st.Pushes > 0 {
 		fmt.Printf(" (%s/epoch)", time.Duration(st.EpochMicros/st.Pushes)*time.Microsecond)

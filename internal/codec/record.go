@@ -102,12 +102,18 @@ type Hello struct {
 	PartName    string  // partitioner name, e.g. "greedy"
 	ProtoSpec   string  // e.g. "coreness:23"; empty in-process
 	WantValues  bool    // ship per-node result values after the metrics record
+	// Recover arms crash recovery (DESIGN.md §13): the worker checkpoints
+	// its driver state after every delivery and must honor Resume/Replay
+	// records after a re-admission handshake.
+	Recover bool
 }
 
 // HandshakeVersion is the protocol version stamped into Hello and Welcome;
 // both sides reject a peer speaking any other version. Version 2 added
-// DeltaDigest and the delta record of the churn protocol (DESIGN.md §9).
-const HandshakeVersion = 2
+// DeltaDigest and the delta record of the churn protocol (DESIGN.md §9);
+// version 3 added Hello.Recover and the checkpoint/resume/replay records of
+// the crash-recovery protocol (DESIGN.md §13).
+const HandshakeVersion = 3
 
 // AppendHello appends the wire encoding of h to dst.
 func AppendHello(dst []byte, h Hello) []byte {
@@ -124,10 +130,8 @@ func AppendHello(dst []byte, h Hello) []byte {
 	dst = appendString(dst, h.GraphSpec)
 	dst = appendString(dst, h.PartName)
 	dst = appendString(dst, h.ProtoSpec)
-	if h.WantValues {
-		return append(dst, 1)
-	}
-	return append(dst, 0)
+	dst = appendBool(dst, h.WantValues)
+	return appendBool(dst, h.Recover)
 }
 
 // DecodeHello decodes a Hello and returns the number of bytes consumed.
@@ -148,6 +152,7 @@ func DecodeHello(src []byte) (Hello, int, error) {
 	h.PartName = d.string()
 	h.ProtoSpec = d.string()
 	h.WantValues = d.byte() != 0
+	h.Recover = d.byte() != 0
 	if d.err != nil {
 		return Hello{}, 0, fmt.Errorf("codec: bad hello record: %w", d.err)
 	}
@@ -193,6 +198,14 @@ func DecodeWelcome(src []byte) (Welcome, int, error) {
 func appendString(dst []byte, s string) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(s)))
 	return append(dst, s...)
+}
+
+// appendBool appends a 0/1 flag byte.
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
 }
 
 // decoder is a cursor over src that latches the first error, so the record

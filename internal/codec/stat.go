@@ -30,7 +30,10 @@ type Stat struct {
 	// EpochMicros is cumulative wall-clock µs spent sealing epochs
 	// (broadcast to commit) — the timing summary a stat probe reports.
 	EpochMicros int64
-	Broken      bool
+	// Recoveries counts workers crash-recovered since epoch 0 (DESIGN.md
+	// §13) — faults that would latch Broken with recovery disabled.
+	Recoveries int64
+	Broken     bool
 	// CauseEpoch/CauseWorker/CausePhase/Cause diagnose the break: the epoch
 	// being sealed, the worker implicated (-1 when the failure is not
 	// attributable to one), the protocol phase, and the error text.
@@ -53,6 +56,7 @@ func AppendStat(dst []byte, s Stat) []byte {
 	dst = binary.AppendUvarint(dst, uint64(s.DeltaBytes))
 	dst = binary.AppendUvarint(dst, uint64(s.Notifications))
 	dst = binary.AppendUvarint(dst, uint64(s.EpochMicros))
+	dst = binary.AppendUvarint(dst, uint64(s.Recoveries))
 	if s.Broken {
 		dst = append(dst, 1)
 	} else {
@@ -82,6 +86,7 @@ func DecodeStat(src []byte) (Stat, int, error) {
 	s.DeltaBytes = int64(d.uvarint())
 	s.Notifications = int64(d.uvarint())
 	s.EpochMicros = int64(d.uvarint())
+	s.Recoveries = int64(d.uvarint())
 	s.Broken = d.byte() != 0
 	s.CauseEpoch = int(d.uvarint())
 	s.CauseWorker = int(d.uvarint()) - 1

@@ -10,7 +10,7 @@ func TestStatRoundTrip(t *testing.T) {
 		{},
 		{Epoch: 7, ChainDigest: 0xdeadbeefcafef00d, Workers: 4, Nodes: 10_000, Subscribers: 3,
 			Pushes: 7, Rejected: 1, Changed: 812, DeltaBytes: 4096, Notifications: 12, EpochMicros: 123456,
-			CauseWorker: -1},
+			Recoveries: 2, CauseWorker: -1},
 		{Epoch: 3, Broken: true, CauseEpoch: 3, CauseWorker: 2,
 			CausePhase: "reconverge", Cause: "worker 2: unexpected EOF"},
 		{Broken: true, CauseEpoch: 1, CauseWorker: -1,

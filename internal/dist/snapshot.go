@@ -1,0 +1,248 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"distkcore/internal/graph"
+)
+
+// Checkpointable is the optional Program interface a protocol implements to
+// participate in crash recovery (DESIGN.md §13). AppendState serializes the
+// node's cross-round state; RestoreState rebuilds it in a freshly
+// constructed program whose Init has NOT run. The round trip must be exact:
+// a restored program must produce bit-identical sends and halts from the
+// next Step onward. RestoreState receives the node's Ctx (topology queries
+// only — it must not send or halt) and the halted flag, so programs that
+// publish a result on halt can re-publish it into a fresh result sink.
+type Checkpointable interface {
+	// AppendState appends the node's serialized cross-round state to dst.
+	AppendState(dst []byte) ([]byte, error)
+	// RestoreState decodes the state written by AppendState from the front
+	// of src and returns the number of bytes consumed. It must validate
+	// hostile input (short buffers, out-of-range indices) with errors, not
+	// panics.
+	RestoreState(c *Ctx, halted bool, src []byte) (int, error)
+}
+
+// nodeSnap is one decoded node entry of a driver snapshot, staged before any
+// mutation of the sim so a hostile snapshot cannot leave it half-restored.
+type nodeSnap struct {
+	halted bool
+	inbox  []Message
+	state  []byte
+}
+
+// AppendSnapshot appends a snapshot of the listed nodes to dst: for each
+// node its halted flag, its pending next-round inbox (the messages the last
+// Deliver parked for it), and its program state via Checkpointable. The
+// snapshot is taken at a barrier — call it only after a Deliver and before
+// the next Step wave, when every send queue is empty. nodes must be
+// ascending and is typically an engine shard's local nodes; remote ghost
+// nodes carry no protocol state and need no entry.
+func (d *Driver) AppendSnapshot(dst []byte, nodes []graph.NodeID) ([]byte, error) {
+	s := d.s
+	n := len(s.ctxs)
+	dst = binary.AppendUvarint(dst, uint64(len(nodes)))
+	for _, v := range nodes {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("dist: snapshot node %d out of range [0,%d)", v, n)
+		}
+		c := &s.ctxs[v]
+		if len(c.out) != 0 {
+			return nil, fmt.Errorf("dist: snapshot of node %d with %d unflushed sends (snapshot only at a barrier)", v, len(c.out))
+		}
+		if c.halted {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		inbox := s.inboxOf(v)
+		dst = binary.AppendUvarint(dst, uint64(len(inbox)))
+		for _, m := range inbox {
+			dst = append(dst, m.Kind)
+			dst = binary.AppendUvarint(dst, uint64(m.From))
+			dst = binary.AppendVarint(dst, int64(m.I0))
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.F0))
+			dst = binary.AppendUvarint(dst, uint64(len(m.Vec)))
+			for _, x := range m.Vec {
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+			}
+		}
+		ck, ok := s.progs[v].(Checkpointable)
+		if !ok {
+			return nil, fmt.Errorf("dist: program of node %d is not Checkpointable", v)
+		}
+		st, err := ck.AppendState(nil)
+		if err != nil {
+			return nil, fmt.Errorf("dist: snapshot node %d: %w", v, err)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(st)))
+		dst = append(dst, st...)
+	}
+	return dst, nil
+}
+
+// RestoreSnapshot rebuilds the listed nodes' state from a snapshot written
+// by AppendSnapshot against the same graph and node list. The driver must be
+// freshly constructed (no Step has run). Hostile input yields an error, not
+// a panic, and the sim is only mutated after the full snapshot has decoded.
+func (d *Driver) RestoreSnapshot(src []byte, nodes []graph.NodeID) error {
+	s := d.s
+	n := len(s.ctxs)
+	for i, v := range nodes {
+		if v < 0 || v >= n {
+			return fmt.Errorf("dist: restore node %d out of range [0,%d)", v, n)
+		}
+		if i > 0 && nodes[i-1] >= v {
+			return fmt.Errorf("dist: restore node list not ascending at %d", v)
+		}
+	}
+	snaps, err := decodeSnapshot(src, len(nodes), n)
+	if err != nil {
+		return err
+	}
+	// Rebuild the inbox arena: only listed nodes carry messages.
+	total := int32(0)
+	for _, ns := range snaps {
+		total += int32(len(ns.inbox))
+	}
+	if cap(s.inboxArena) < int(total) {
+		s.inboxArena = make([]Message, total)
+	} else {
+		s.inboxArena = s.inboxArena[:total]
+	}
+	off := int32(0)
+	j := 0
+	for v := 0; v < n; v++ {
+		s.inboxOff[v] = off
+		if j < len(nodes) && nodes[j] == v {
+			off += int32(copy(s.inboxArena[off:], snaps[j].inbox))
+			j++
+		}
+	}
+	s.inboxOff[n] = off
+	for i, v := range nodes {
+		c := &s.ctxs[v]
+		c.out = c.out[:0]
+		if snaps[i].halted && !c.halted {
+			// Set directly and retire immediately: Halt() would stage the
+			// node in haltedNow for the NEXT deliver, but a restored halt
+			// was already retired in the snapshotted run.
+			c.halted = true
+			s.alive--
+		}
+		ck, ok := s.progs[v].(Checkpointable)
+		if !ok {
+			return fmt.Errorf("dist: program of node %d is not Checkpointable", v)
+		}
+		used, err := ck.RestoreState(c, snaps[i].halted, snaps[i].state)
+		if err != nil {
+			return fmt.Errorf("dist: restore node %d: %w", v, err)
+		}
+		if used != len(snaps[i].state) {
+			return fmt.Errorf("dist: restore node %d: %d trailing state bytes", v, len(snaps[i].state)-used)
+		}
+	}
+	return nil
+}
+
+// decodeSnapshot decodes a full snapshot into staged nodeSnaps with bounds
+// checks on every field, without touching the sim.
+func decodeSnapshot(src []byte, nnodes, n int) ([]nodeSnap, error) {
+	pos := 0
+	uv := func() (uint64, error) {
+		x, k := binary.Uvarint(src[pos:])
+		if k <= 0 {
+			return 0, fmt.Errorf("dist: snapshot truncated at byte %d", pos)
+		}
+		pos += k
+		return x, nil
+	}
+	count, err := uv()
+	if err != nil {
+		return nil, err
+	}
+	if count != uint64(nnodes) {
+		return nil, fmt.Errorf("dist: snapshot has %d nodes, want %d", count, nnodes)
+	}
+	snaps := make([]nodeSnap, nnodes)
+	for i := range snaps {
+		if pos >= len(src) {
+			return nil, fmt.Errorf("dist: snapshot truncated at node %d", i)
+		}
+		switch src[pos] {
+		case 0:
+		case 1:
+			snaps[i].halted = true
+		default:
+			return nil, fmt.Errorf("dist: snapshot node %d: bad halted flag %d", i, src[pos])
+		}
+		pos++
+		nmsg, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		// Each message is at least 11 bytes (kind + from + i0 + f0).
+		if nmsg > uint64(len(src)-pos)/11 {
+			return nil, fmt.Errorf("dist: snapshot node %d: inbox count %d exceeds buffer", i, nmsg)
+		}
+		snaps[i].inbox = make([]Message, 0, nmsg)
+		for k := uint64(0); k < nmsg; k++ {
+			var m Message
+			if pos >= len(src) {
+				return nil, fmt.Errorf("dist: snapshot truncated in node %d inbox", i)
+			}
+			m.Kind = src[pos]
+			pos++
+			from, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			if from >= uint64(n) {
+				return nil, fmt.Errorf("dist: snapshot node %d: sender %d out of range", i, from)
+			}
+			m.From = graph.NodeID(from)
+			i0, k2 := binary.Varint(src[pos:])
+			if k2 <= 0 {
+				return nil, fmt.Errorf("dist: snapshot truncated at byte %d", pos)
+			}
+			pos += k2
+			m.I0 = int(i0)
+			if len(src)-pos < 8 {
+				return nil, fmt.Errorf("dist: snapshot truncated in node %d inbox", i)
+			}
+			m.F0 = math.Float64frombits(binary.LittleEndian.Uint64(src[pos:]))
+			pos += 8
+			nvec, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			if nvec > uint64(len(src)-pos)/8 {
+				return nil, fmt.Errorf("dist: snapshot node %d: vec length %d exceeds buffer", i, nvec)
+			}
+			if nvec > 0 {
+				m.Vec = make([]float64, nvec)
+				for j := range m.Vec {
+					m.Vec[j] = math.Float64frombits(binary.LittleEndian.Uint64(src[pos:]))
+					pos += 8
+				}
+			}
+			snaps[i].inbox = append(snaps[i].inbox, m)
+		}
+		nst, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		if nst > uint64(len(src)-pos) {
+			return nil, fmt.Errorf("dist: snapshot node %d: state length %d exceeds buffer", i, nst)
+		}
+		snaps[i].state = src[pos : pos+int(nst) : pos+int(nst)]
+		pos += int(nst)
+	}
+	if pos != len(src) {
+		return nil, fmt.Errorf("dist: snapshot has %d trailing bytes", len(src)-pos)
+	}
+	return snaps, nil
+}

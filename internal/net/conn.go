@@ -28,6 +28,30 @@ const (
 	recDelta   = byte(11) // coordinator→worker: shard.AppendDelta churn batch (follows a hello with DeltaDigest ≠ 0)
 )
 
+// Crash-recovery record types (DESIGN.md §13), spoken only when
+// Hello.Recover armed them. They share the run records' number space but
+// sit after the exported session block, so the table stays append-only.
+const (
+	// recCheckpoint seals one round: worker→coordinator, codec.Checkpoint
+	// (round, frame-chain digest, metric counters, driver snapshot). Sent
+	// after every delivery, retained by the coordinator for the last K
+	// rounds.
+	recCheckpoint = byte(19)
+	// recResume restores a re-admitted worker: coordinator→worker,
+	// codec.Resume. Sent after the re-handshake, before any replay.
+	recResume = byte(20)
+	// recReplay announces one replayed round: coordinator→worker,
+	// codec.Replay; exactly Frames recFrame records for that round follow.
+	recReplay = byte(21)
+	// RecEpochResume re-admits a session worker between epochs:
+	// coordinator→worker, body is the codec.Stamp of the last sealed epoch;
+	// the worker recomputes its state from the current graph, verifies the
+	// stamp, and echoes it byte-identically (DESIGN.md §13). Exported with
+	// the session records because internal/session drives it through the
+	// exported record IO.
+	RecEpochResume = byte(22)
+)
+
 // Session record types (DESIGN.md §10): the generalization of the one-shot
 // churn record recDelta into a long-lived epoch protocol spoken after a run
 // finishes instead of hanging up. They are exported — unlike the run records

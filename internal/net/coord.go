@@ -43,6 +43,25 @@ type Spec struct {
 	// error instead of hanging the coordinator forever (fail-fast, the
 	// deadline side of "determinism over availability").
 	IOTimeout time.Duration
+	// Recover arms crash recovery (DESIGN.md §13): workers checkpoint
+	// after every delivery, the coordinator retains the last RetainRounds
+	// checkpoints and rounds of relay history per worker, and a dead worker
+	// is respawned via Respawn and restored instead of failing the run.
+	Recover bool
+	// RetainRounds is K, the per-worker retention depth for checkpoints and
+	// relay history; ≤ 0 means the default of 4 (a worker's checkpoint lag
+	// is at most 2 rounds, so 4 leaves slack).
+	RetainRounds int
+	// Respawn produces a fresh connection to a restarted worker for the
+	// given shard: the in-process engine spawns a goroutine on a fresh
+	// pipe, cmd/cluster re-execs the worker binary on a fresh socket.
+	// Recovery requires it; a nil Respawn with Recover set fails the run on
+	// the first death, exactly as if recovery were off.
+	Respawn func(shard int) (*Conn, error)
+	// OnRound, when non-nil, runs at the top of every round before the
+	// step broadcast — the fault-injection seam multi-process harnesses use
+	// to SIGKILL a worker at a chosen round.
+	OnRound func(t int)
 	// Trace, when set, records the coordinator's per-round barrier-wait and
 	// relay spans plus one Flow per relayed frame — the P×P matrix that
 	// makes the coordinator funnel visible. It observes bytes the ledger
@@ -72,6 +91,9 @@ type Report struct {
 	// Values holds every worker's shipped node values when Spec.WantValues
 	// was set, in arrival order; nil otherwise.
 	Values []NodeValue
+	// Recoveries counts worker crash recoveries performed during the run
+	// (0 when recovery is disabled or nothing died).
+	Recoveries int
 }
 
 // Assemble scatters the collected values into an n-sized vector (missing
@@ -93,9 +115,12 @@ func (r *Report) Assemble(n int) ([]float64, error) {
 }
 
 // inRec is one record (or terminal read error) from one worker, as pushed
-// by the coordinator's per-connection reader goroutines.
+// by the coordinator's per-connection reader goroutines. gen is the
+// connection generation the record came from: records from a dead
+// incarnation that was replaced by recovery are filtered out by take.
 type inRec struct {
 	from int
+	gen  int
 	typ  byte
 	body []byte
 	err  error
@@ -115,9 +140,13 @@ type Hub struct {
 	Timeout time.Duration
 
 	conns []*Conn
-	ch    chan inRec
-	done  chan struct{}
-	once  sync.Once
+	// gens[i] is worker i's connection generation, bumped by Replace.
+	// Touched only by the single protocol-driving goroutine; readers get
+	// their generation as a parameter at spawn.
+	gens []int
+	ch   chan inRec
+	done chan struct{}
+	once sync.Once
 }
 
 // NewHub wraps conns (conns[i] is shard i) and starts the per-connection
@@ -125,13 +154,25 @@ type Hub struct {
 func NewHub(conns []*Conn) *Hub {
 	h := &Hub{
 		conns: conns,
+		gens:  make([]int, len(conns)),
 		ch:    make(chan inRec, 8*len(conns)),
 		done:  make(chan struct{}),
 	}
 	for i, cn := range conns {
-		go h.reader(i, cn)
+		go h.reader(i, 0, cn)
 	}
 	return h
+}
+
+// Replace swaps worker i's connection for a respawned incarnation and
+// starts a reader for it. Records still in flight from the dead incarnation
+// carry the old generation and are dropped by take's filter — its terminal
+// read error included, so a replaced death never resurfaces. Call only from
+// the protocol-driving goroutine; the caller owns closing the old conn.
+func (h *Hub) Replace(i int, cn *Conn) {
+	h.gens[i]++
+	h.conns[i] = cn
+	go h.reader(i, h.gens[i], cn)
 }
 
 // P returns the worker count.
@@ -160,12 +201,12 @@ func (h *Hub) SendError(err error) {
 // error (EOF included, which is the normal end once the caller closes the
 // connection after the last exchange) or when the hub is closed and nobody
 // will drain the channel again.
-func (h *Hub) reader(i int, cn *Conn) {
+func (h *Hub) reader(i, gen int, cn *Conn) {
 	for {
 		typ, body, err := cn.AwaitRecord()
 		if err != nil {
 			select {
-			case h.ch <- inRec{from: i, err: err}:
+			case h.ch <- inRec{from: i, gen: gen, err: err}:
 			case <-h.done:
 			}
 			return
@@ -173,35 +214,62 @@ func (h *Hub) reader(i int, cn *Conn) {
 		cp := make([]byte, len(body))
 		copy(cp, body)
 		select {
-		case h.ch <- inRec{from: i, typ: typ, body: cp}:
+		case h.ch <- inRec{from: i, gen: gen, typ: typ, body: cp}:
 		case <-h.done:
 			return
 		}
 	}
 }
 
-// next receives one record, folding transport errors, worker error records
-// and reply timeouts into Go errors.
-func (h *Hub) next() (inRec, error) {
-	var r inRec
-	if h.Timeout > 0 {
-		t := time.NewTimer(h.Timeout)
-		select {
-		case r = <-h.ch:
-			t.Stop()
-		case <-t.C:
-			return inRec{from: -1}, fmt.Errorf("net: no worker record within %v (dead peer?)", h.Timeout)
+// take receives one raw record, dropping records from replaced (dead)
+// connection generations and folding a reply timeout into a from: -1 error
+// record. Errors are not yet folded — callers that need the raw record for
+// fault attribution (recovery) go through take; everyone else uses next.
+func (h *Hub) take() inRec {
+	for {
+		var r inRec
+		if h.Timeout > 0 {
+			t := time.NewTimer(h.Timeout)
+			select {
+			case r = <-h.ch:
+				t.Stop()
+			case <-t.C:
+				return inRec{from: -1, err: fmt.Errorf("net: no worker record within %v (dead peer?)", h.Timeout)}
+			}
+		} else {
+			r = <-h.ch
 		}
-	} else {
-		r = <-h.ch
+		if h.stale(r) {
+			continue
+		}
+		return r
 	}
+}
+
+// stale reports whether r came from a replaced connection generation.
+func (h *Hub) stale(r inRec) bool {
+	return r.from >= 0 && r.gen != h.gens[r.from]
+}
+
+// foldRec folds a raw record's transport error or worker error record into
+// a Go error.
+func foldRec(r inRec) (inRec, error) {
 	if r.err != nil {
+		if r.from < 0 {
+			return r, r.err
+		}
 		return r, fmt.Errorf("net: worker %d: %w", r.from, r.err)
 	}
 	if r.typ == recError {
 		return r, fmt.Errorf("net: worker %d aborted: %s", r.from, r.body)
 	}
 	return r, nil
+}
+
+// next receives one record, folding transport errors, worker error records
+// and reply timeouts into Go errors.
+func (h *Hub) next() (inRec, error) {
+	return foldRec(h.take())
 }
 
 // Next is the exported record receive for protocol layers driving the hub
@@ -253,6 +321,15 @@ func (h *Hub) Run(spec Spec) (dist.Metrics, *Report, error) {
 		spec: spec,
 		rep:  &Report{Sharding: shard.ShardMetrics{P: p, PerShardBytes: make([]int64, p)}},
 	}
+	if spec.Recover {
+		c.hellos = make([][]byte, p)
+		c.ckpts = make([][]codec.Checkpoint, p)
+		c.hist = make([][]histRound, p)
+		c.chains = make([]uint64, p)
+		for i := range c.chains {
+			c.chains[i] = frameChainSeed
+		}
+	}
 	met, err := c.run()
 	if err != nil {
 		h.SendError(err)
@@ -261,13 +338,277 @@ func (h *Hub) Run(spec Spec) (dist.Metrics, *Report, error) {
 	return met, c.rep, nil
 }
 
+// frameRec is one parked cross-shard frame: the full record body (header +
+// messages) plus its source and message count, so a dead worker's parked
+// contribution can be discarded with an exact ledger undo.
+type frameRec struct {
+	src, count int
+	body       []byte
+}
+
+// histRound is one retained round of relay history for one worker: the
+// frames relayed to it and the worker's expected frame-chain digest after
+// folding them (checkpoint verification, catch-up replay).
+type histRound struct {
+	round      int
+	frames     []frameRec
+	chainAfter uint64
+}
+
+// maxRecoveries caps recovery attempts per worker per run: a worker that
+// keeps dying (a crash loop, a poisoned input) eventually fails the run
+// instead of respawning forever.
+const maxRecoveries = 8
+
 type coordinator struct {
 	hub  *Hub
 	spec Spec
 	rep  *Report
+
+	// stash defers records from other workers that arrive while a recovery
+	// exchange is awaiting a specific worker's reply; nextRec drains it
+	// FIFO before touching the hub again, so per-worker order holds.
+	stash []inRec
+
+	// Recovery retention (allocated when spec.Recover; nil otherwise).
+	hellos   [][]byte             // original hello record body per worker
+	deltaRec []byte               // original churn delta record, if any
+	ckpts    [][]codec.Checkpoint // last K checkpoints per worker, ascending rounds
+	hist     [][]histRound        // last K rounds of relay history per worker
+	chains   []uint64             // cumulative relayed frame chain per worker
+	attempts []int                // recoveries performed per worker
 }
 
-func (c *coordinator) next() (inRec, error) { return c.hub.next() }
+// recoverable reports whether worker death is survivable in this run.
+func (c *coordinator) recoverable() bool { return c.spec.Recover && c.spec.Respawn != nil }
+
+// retainK is the retention depth K.
+func (c *coordinator) retainK() int {
+	if c.spec.RetainRounds > 0 {
+		return c.spec.RetainRounds
+	}
+	return 4
+}
+
+// next receives one record for a protocol exchange: stashed records drain
+// first, checkpoint records are absorbed into the retention rings on the
+// way, and errors fold like Hub.next.
+func (c *coordinator) next() (inRec, error) {
+	for {
+		var r inRec
+		if len(c.stash) > 0 {
+			r = c.stash[0]
+			c.stash = c.stash[1:]
+			if c.hub.stale(r) {
+				continue
+			}
+		} else {
+			r = c.hub.take()
+		}
+		if c.spec.Recover && r.err == nil && r.typ == recCheckpoint {
+			if err := c.absorbCheckpoint(r); err != nil {
+				return r, err
+			}
+			continue
+		}
+		return foldRec(r)
+	}
+}
+
+// awaitFrom receives the next record from worker w specifically, stashing
+// records other workers interleave (their dones, frames and even deaths
+// are deferred, not lost) and absorbing checkpoints. Recovery exchanges use
+// it to read the respawned worker's welcome.
+func (c *coordinator) awaitFrom(w int) (inRec, error) {
+	for {
+		r := c.hub.take()
+		if r.err == nil && r.typ == recCheckpoint && c.spec.Recover {
+			if err := c.absorbCheckpoint(r); err != nil {
+				return r, err
+			}
+			continue
+		}
+		if r.from != w && r.from >= 0 {
+			c.stash = append(c.stash, r)
+			continue
+		}
+		return foldRec(r)
+	}
+}
+
+// absorbCheckpoint stores one worker checkpoint in the retention ring,
+// verifying its frame chain against the relay history when the round is
+// still retained. A catch-up re-checkpoint supersedes ring entries at or
+// past its round (they were the dead incarnation's).
+func (c *coordinator) absorbCheckpoint(r inRec) error {
+	ck, used, err := codec.DecodeCheckpoint(r.body)
+	if err != nil {
+		return err
+	}
+	if used != len(r.body) {
+		return fmt.Errorf("net: worker %d checkpoint carries %d trailing bytes", r.from, len(r.body)-used)
+	}
+	w := r.from
+	for i := range c.hist[w] {
+		if c.hist[w][i].round == ck.Round {
+			if c.hist[w][i].chainAfter != ck.FrameChain {
+				return fmt.Errorf("net: worker %d checkpoint for round %d has frame chain %#x, coordinator relayed %#x",
+					w, ck.Round, ck.FrameChain, c.hist[w][i].chainAfter)
+			}
+			break
+		}
+	}
+	ring := c.ckpts[w]
+	for len(ring) > 0 && ring[len(ring)-1].Round >= ck.Round {
+		ring = ring[:len(ring)-1]
+	}
+	ring = append(ring, ck)
+	if k := c.retainK(); len(ring) > k {
+		ring = ring[len(ring)-k:]
+	}
+	c.ckpts[w] = ring
+	return nil
+}
+
+// retain records round t's relay traffic into every worker's history ring
+// and advances the per-worker frame chains. Must run after the round's
+// collection and before the relay writes, so a death during relay can
+// still be caught up through round t.
+func (c *coordinator) retain(t int, relay [][]frameRec) {
+	for q := range relay {
+		for _, fr := range relay[q] {
+			c.chains[q] = foldFrame(c.chains[q], fr.body)
+		}
+		hr := append(c.hist[q], histRound{round: t, frames: relay[q], chainAfter: c.chains[q]})
+		if k := c.retainK(); len(hr) > k {
+			hr = hr[len(hr)-k:]
+		}
+		c.hist[q] = hr
+	}
+}
+
+// histOf returns the retained relay history of worker w for one round, or
+// nil when retention has trimmed it.
+func (c *coordinator) histOf(w, round int) *histRound {
+	for i := range c.hist[w] {
+		if c.hist[w][i].round == round {
+			return &c.hist[w][i]
+		}
+	}
+	return nil
+}
+
+// restartWorker is the recovery core (DESIGN.md §13): respawn worker w,
+// re-admit it with the original hello, restore it from its newest retained
+// checkpoint at or before round upTo, and replay the relayed frames of
+// every round after the checkpoint through upTo. When it returns nil the
+// new incarnation holds exactly the state the dead one had sealed at the
+// end of round upTo, and is parked in its read loop awaiting whatever the
+// coordinator sends next. Deadlock-free: the replay writes below can block
+// on a full pipe only until the new connection's hub reader drains the
+// worker's catch-up checkpoints, which it does continuously.
+func (c *coordinator) restartWorker(w, upTo int) error {
+	if !c.recoverable() {
+		return fmt.Errorf("net: worker %d died and recovery is not armed", w)
+	}
+	if c.attempts == nil {
+		c.attempts = make([]int, c.hub.P())
+	}
+	if c.attempts[w]++; c.attempts[w] > maxRecoveries {
+		return fmt.Errorf("net: worker %d died %d times; giving up", w, c.attempts[w])
+	}
+	sp := c.spec.Trace.Begin(obs.PhaseRecover, upTo, w)
+	defer sp.End()
+	cn, err := c.spec.Respawn(w)
+	if err != nil {
+		return fmt.Errorf("net: respawning worker %d: %w", w, err)
+	}
+	if c.spec.IOTimeout > 0 {
+		cn.SetIOTimeout(c.spec.IOTimeout)
+	}
+	// Close the dead incarnation's conn (releasing its fd and unparking its
+	// reader, whose final error record is generation-filtered out), then
+	// swap in the replacement.
+	c.hub.conns[w].Close()
+	c.hub.Replace(w, cn)
+	if err := cn.writeRecord(recHello, c.hellos[w]); err != nil {
+		return fmt.Errorf("net: re-admitting worker %d: %w", w, err)
+	}
+	if c.deltaRec != nil {
+		if err := cn.writeRecord(recDelta, c.deltaRec); err != nil {
+			return fmt.Errorf("net: re-admitting worker %d: %w", w, err)
+		}
+	}
+	if err := cn.flush(); err != nil {
+		return fmt.Errorf("net: re-admitting worker %d: %w", w, err)
+	}
+	r, err := c.awaitFrom(w)
+	if err != nil {
+		return fmt.Errorf("net: re-admitting worker %d: %w", w, err)
+	}
+	if _, err := c.checkWelcome(r); err != nil {
+		return err
+	}
+	// Newest retained checkpoint at or before upTo; -1 restarts from Init.
+	ck := -1
+	rs := codec.Resume{CkptRound: -1}
+	for j := len(c.ckpts[w]) - 1; j >= 0; j-- {
+		if cp := c.ckpts[w][j]; cp.Round <= upTo {
+			ck = cp.Round
+			rs = codec.Resume{CkptRound: cp.Round, FrameChain: cp.FrameChain,
+				Msgs: cp.Msgs, Words: cp.Words, Wire: cp.Wire, State: cp.State}
+			break
+		}
+	}
+	rs.Catchup = upTo - ck
+	if err := cn.writeRecord(recResume, codec.AppendResume(nil, rs)); err != nil {
+		return fmt.Errorf("net: resuming worker %d: %w", w, err)
+	}
+	for t := ck + 1; t <= upTo; t++ {
+		hr := c.histOf(w, t)
+		if hr == nil {
+			return fmt.Errorf("net: recovering worker %d needs round %d replayed, but retention (K=%d) trimmed it", w, t, c.retainK())
+		}
+		rp := c.spec.Trace.Begin(obs.PhaseReplay, t, w)
+		if err := cn.writeRecord(recReplay, codec.AppendReplay(nil, codec.Replay{Round: t, Frames: len(hr.frames)})); err != nil {
+			return fmt.Errorf("net: replaying round %d to worker %d: %w", t, w, err)
+		}
+		var rb int64
+		for _, fr := range hr.frames {
+			if err := cn.writeRecord(recFrame, fr.body); err != nil {
+				return fmt.Errorf("net: replaying round %d to worker %d: %w", t, w, err)
+			}
+			rb += int64(len(fr.body))
+		}
+		rp.EndN(rb, int64(len(hr.frames)))
+	}
+	if err := cn.flush(); err != nil {
+		return fmt.Errorf("net: resuming worker %d: %w", w, err)
+	}
+	c.rep.Recoveries++
+	return nil
+}
+
+// checkWelcome validates one welcome record against the spec (shared by
+// the initial handshake and recovery re-admission).
+func (c *coordinator) checkWelcome(r inRec) (codec.Welcome, error) {
+	if r.typ != recWelcome {
+		return codec.Welcome{}, fmt.Errorf("net: worker %d sent record %d before welcome", r.from, r.typ)
+	}
+	w, _, err := codec.DecodeWelcome(r.body)
+	if err != nil {
+		return codec.Welcome{}, err
+	}
+	switch {
+	case w.Version != codec.HandshakeVersion:
+		return codec.Welcome{}, fmt.Errorf("net: worker %d speaks version %d, want %d", r.from, w.Version, codec.HandshakeVersion)
+	case w.Shard != r.from:
+		return codec.Welcome{}, fmt.Errorf("net: worker %d answered as shard %d", r.from, w.Shard)
+	case w.GraphHash != c.spec.GraphHash || w.PartDigest != c.spec.PartDigest:
+		return codec.Welcome{}, fmt.Errorf("net: worker %d echoes mismatched digests", r.from)
+	}
+	return w, nil
+}
 
 func (c *coordinator) run() (dist.Metrics, error) {
 	p := c.hub.P()
@@ -292,8 +633,16 @@ func (c *coordinator) run() (dist.Metrics, error) {
 			PartName:    c.spec.PartName,
 			ProtoSpec:   c.spec.ProtoSpec,
 			WantValues:  c.spec.WantValues,
+			Recover:     c.spec.Recover,
 		}
-		if err := cn.writeRecord(recHello, codec.AppendHello(nil, h)); err != nil {
+		helloRec := codec.AppendHello(nil, h)
+		if c.spec.Recover {
+			// Retain the exact hello (and delta) bytes: re-admitting a
+			// respawned worker replays the identical handshake.
+			c.hellos[i] = helloRec
+			c.deltaRec = deltaRec
+		}
+		if err := cn.writeRecord(recHello, helloRec); err != nil {
 			return dist.Metrics{}, err
 		}
 		if deltaRec != nil {
@@ -311,22 +660,12 @@ func (c *coordinator) run() (dist.Metrics, error) {
 		if err != nil {
 			return dist.Metrics{}, err
 		}
-		if r.typ != recWelcome {
-			return dist.Metrics{}, fmt.Errorf("net: worker %d sent record %d before welcome", r.from, r.typ)
-		}
-		w, _, err := codec.DecodeWelcome(r.body)
+		w, err := c.checkWelcome(r)
 		if err != nil {
 			return dist.Metrics{}, err
 		}
-		switch {
-		case w.Version != codec.HandshakeVersion:
-			return dist.Metrics{}, fmt.Errorf("net: worker %d speaks version %d, want %d", r.from, w.Version, codec.HandshakeVersion)
-		case w.Shard != r.from:
-			return dist.Metrics{}, fmt.Errorf("net: worker %d answered as shard %d", r.from, w.Shard)
-		case welcomed[r.from]:
+		if welcomed[r.from] {
 			return dist.Metrics{}, fmt.Errorf("net: worker %d welcomed twice", r.from)
-		case w.GraphHash != c.spec.GraphHash || w.PartDigest != c.spec.PartDigest:
-			return dist.Metrics{}, fmt.Errorf("net: worker %d echoes mismatched digests", r.from)
 		}
 		welcomed[r.from] = true
 		c.rep.Nodes += w.Nodes
@@ -353,12 +692,31 @@ func (c *coordinator) run() (dist.Metrics, error) {
 	} else {
 		fin = append(fin, 0)
 	}
-	for _, cn := range c.hub.conns {
+	sendFin := func(i int) error {
+		cn := c.hub.conns[i]
 		if err := cn.writeRecord(recFinish, fin); err != nil {
-			return dist.Metrics{}, err
+			return err
 		}
-		if err := cn.flush(); err != nil {
-			return dist.Metrics{}, err
+		return cn.flush()
+	}
+	// A finish-phase restart replays the whole worker flow, so a restarted
+	// worker legitimately re-sends records its dead incarnation already
+	// delivered; restarted[i] is what lets the dup checks tolerate that.
+	restarted := make([]bool, p)
+	for i := range c.hub.conns {
+		if err := sendFin(i); err != nil {
+			// A worker killed at the last round's delivery surfaces here:
+			// recover it through the final round and re-send the finish.
+			if !c.recoverable() {
+				return dist.Metrics{}, err
+			}
+			if err := c.restartWorker(i, rounds); err != nil {
+				return dist.Metrics{}, err
+			}
+			restarted[i] = true
+			if err := sendFin(i); err != nil {
+				return dist.Metrics{}, err
+			}
 		}
 	}
 	met := dist.Metrics{Rounds: rounds, Halted: alive == 0}
@@ -377,8 +735,34 @@ func (c *coordinator) run() (dist.Metrics, error) {
 	for got := 0; got < want; {
 		r, err := c.next()
 		if err != nil {
-			if r.err != nil && complete(r.from) {
+			if r.err != nil && r.from >= 0 && complete(r.from) {
 				continue
+			}
+			if c.recoverable() {
+				w := r.from
+				if w < 0 {
+					// A timeout names nobody; attribute it only when exactly
+					// one worker still owes records.
+					cand, lagging := -1, 0
+					for i := 0; i < p; i++ {
+						if !complete(i) {
+							cand, lagging = i, lagging+1
+						}
+					}
+					if lagging == 1 {
+						w = cand
+					}
+				}
+				if w >= 0 && !complete(w) {
+					if err := c.restartWorker(w, rounds); err != nil {
+						return dist.Metrics{}, err
+					}
+					restarted[w] = true
+					if err := sendFin(w); err != nil {
+						return dist.Metrics{}, err
+					}
+					continue
+				}
 			}
 			return dist.Metrics{}, err
 		}
@@ -386,6 +770,13 @@ func (c *coordinator) run() (dist.Metrics, error) {
 		switch r.typ {
 		case recMetrics:
 			if gotMetrics[r.from] {
+				if restarted[r.from] {
+					// The dead incarnation's metrics already counted; the
+					// restarted worker's re-send is byte-identical. Drop it
+					// without advancing got.
+					got--
+					continue
+				}
 				return dist.Metrics{}, fmt.Errorf("net: worker %d reported metrics twice", r.from)
 			}
 			gotMetrics[r.from] = true
@@ -437,25 +828,101 @@ func (c *coordinator) run() (dist.Metrics, error) {
 // every worker has flushed its last record of the round and sits in its
 // read loop, so the coordinator's writes always drain. Returns the number
 // of nodes still alive across the cluster after the round.
+//
+// With recovery armed, a worker death inside the round is handled by where
+// it surfaces (DESIGN.md §13): before the worker's done record, its partial
+// round-t contribution is discarded (exact ledger undo) and the restored
+// worker re-steps round t; after its done record (or during relay), the
+// parked frames and alive count stand, and the worker is restored through
+// round t once the relay phase ends.
 func (c *coordinator) round(t int) (alive int, err error) {
+	if c.spec.OnRound != nil {
+		c.spec.OnRound(t)
+	}
 	p := c.hub.P()
 	step := binary.AppendUvarint(nil, uint64(t))
-	for _, cn := range c.hub.conns {
+	sendStep := func(i int) error {
+		cn := c.hub.conns[i] // re-read: Replace may have swapped it
 		if err := cn.writeRecord(recStep, step); err != nil {
-			return 0, err
+			return err
 		}
-		if err := cn.flush(); err != nil {
-			return 0, err
+		return cn.flush()
+	}
+	for i := range c.hub.conns {
+		if err := sendStep(i); err != nil {
+			if !c.recoverable() {
+				return 0, err
+			}
+			// Dead before stepping round t: restore through t-1, re-step.
+			if err := c.restartWorker(i, t-1); err != nil {
+				return 0, err
+			}
+			if err := sendStep(i); err != nil {
+				return 0, err
+			}
 		}
 	}
-	relay := make([][][]byte, p) // relay[q] = frame records parked for worker q
+	relay := make([][]frameRec, p) // relay[q] = frames parked for worker q
 	framesFrom := make([]int, p)
 	done := make([]bool, p)
+	// deadDone marks workers that died after their round-t done record was
+	// in (or during the relay writes): their contribution stands, and they
+	// are restored through round t after the relay phase.
+	deadDone := make([]bool, p)
 	bw := c.spec.Trace.Begin(obs.PhaseBarrierWait, t, -1)
 	for dones := 0; dones < p; {
 		r, err := c.next()
 		if err != nil {
-			return 0, err
+			if !c.recoverable() {
+				return 0, err
+			}
+			w := r.from
+			if w < 0 {
+				// A timeout names nobody; attribute it only when exactly one
+				// worker still owes its done record.
+				cand, lagging := -1, 0
+				for i := 0; i < p; i++ {
+					if !done[i] {
+						cand, lagging = i, lagging+1
+					}
+				}
+				if lagging == 1 {
+					w = cand
+				}
+			}
+			if w < 0 {
+				return 0, err
+			}
+			if done[w] {
+				// Died after its done record: frames and alive count stand
+				// (per-conn FIFO means they all preceded the error). Restore
+				// after the relay phase, through round t.
+				deadDone[w] = true
+				continue
+			}
+			// Died mid-round: discard its partial round-t contribution with
+			// an exact ledger undo, restore through t-1, re-step round t.
+			for q := range relay {
+				kept := relay[q][:0]
+				for _, fr := range relay[q] {
+					if fr.src == w {
+						c.rep.Sharding.CrossMessages -= int64(fr.count)
+						c.rep.Sharding.CrossFrameBytes -= int64(len(fr.body))
+						c.rep.Sharding.PerShardBytes[w] -= int64(len(fr.body))
+						continue
+					}
+					kept = append(kept, fr)
+				}
+				relay[q] = kept
+			}
+			framesFrom[w] = 0
+			if err := c.restartWorker(w, t-1); err != nil {
+				return 0, err
+			}
+			if err := sendStep(w); err != nil {
+				return 0, err
+			}
+			continue
 		}
 		switch r.typ {
 		case recFrame:
@@ -474,7 +941,7 @@ func (c *coordinator) round(t int) (alive int, err error) {
 			c.rep.Sharding.PerShardBytes[fh.Src] += int64(len(r.body))
 			c.spec.Trace.Flow(t, fh.Src, fh.Dst, int64(len(r.body)), int64(fh.Count))
 			framesFrom[r.from]++
-			relay[fh.Dst] = append(relay[fh.Dst], r.body)
+			relay[fh.Dst] = append(relay[fh.Dst], frameRec{src: fh.Src, count: fh.Count, body: r.body})
 		case recDone:
 			d := 0
 			var vals [3]uint64
@@ -503,25 +970,53 @@ func (c *coordinator) round(t int) (alive int, err error) {
 		}
 	}
 	bw.End()
+	if c.spec.Recover {
+		// Record the round into the relay history and frame chains before
+		// writing anything, so a death during relay can be caught up through
+		// round t.
+		c.retain(t, relay)
+	}
 	rl := c.spec.Trace.Begin(obs.PhaseRelay, t, -1)
 	var relayBytes, relayFrames int64
-	for q, cn := range c.hub.conns {
-		for _, frame := range relay[q] {
-			if err := cn.writeRecord(recFrame, frame); err != nil {
-				return 0, err
+	for q := range c.hub.conns {
+		if deadDone[q] {
+			continue
+		}
+		cn := c.hub.conns[q]
+		werr := func() error {
+			for _, fr := range relay[q] {
+				if err := cn.writeRecord(recFrame, fr.body); err != nil {
+					return err
+				}
 			}
-			relayBytes += int64(len(frame))
+			del := binary.AppendUvarint(nil, uint64(t))
+			del = binary.AppendUvarint(del, uint64(len(relay[q])))
+			if err := cn.writeRecord(recDeliver, del); err != nil {
+				return err
+			}
+			return cn.flush()
+		}()
+		if werr != nil {
+			if !c.recoverable() {
+				return 0, werr
+			}
+			// Died during relay: its done record is in, so restore through
+			// round t with the rest of the deadDone workers.
+			deadDone[q] = true
+			continue
+		}
+		for _, fr := range relay[q] {
+			relayBytes += int64(len(fr.body))
 			relayFrames++
-		}
-		del := binary.AppendUvarint(nil, uint64(t))
-		del = binary.AppendUvarint(del, uint64(len(relay[q])))
-		if err := cn.writeRecord(recDeliver, del); err != nil {
-			return 0, err
-		}
-		if err := cn.flush(); err != nil {
-			return 0, err
 		}
 	}
 	rl.EndN(relayBytes, relayFrames)
+	for q := range deadDone {
+		if deadDone[q] {
+			if err := c.restartWorker(q, t); err != nil {
+				return 0, err
+			}
+		}
+	}
 	return alive, nil
 }

@@ -1,6 +1,7 @@
 package net
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -44,6 +45,15 @@ type Engine struct {
 	// (Conn.SetIOTimeout) and on the coordinator's reply waits
 	// (Spec.IOTimeout): a stalled peer fails the run instead of hanging it.
 	IOTimeout time.Duration
+	// Recover arms crash recovery (DESIGN.md §13): workers checkpoint every
+	// round, and a worker that dies mid-run — the KillAt fault injection, or
+	// a real failure — is respawned on a fresh pipe and restored instead of
+	// failing the run. Set it before Run, together with an IOTimeout so a
+	// silent death surfaces as a timeout.
+	Recover bool
+	// RetainRounds overrides the checkpoint/relay-history retention depth K
+	// (≤ 0 means the protocol default of 4).
+	RetainRounds int
 
 	p    int
 	part shard.Partitioner
@@ -60,6 +70,34 @@ type Engine struct {
 	// coordinator barrier-wait/relay spans and funnel flows interleaved
 	// with per-worker step/encode/barrier-wait/deliver spans.
 	trace *obs.Tracer
+	// kill is the armed fault injection (KillAt) and recov the last run's
+	// recovery count, both shared across WithWireLambda copies like sm.
+	kill  *killPlan
+	recov *int
+}
+
+// killPlan is one armed one-shot fault injection: worker dies the first
+// time it reaches phase ph of round r. fired makes it one-shot, so the
+// respawned incarnation replaying the same round does not die again.
+type killPlan struct {
+	mu     sync.Mutex
+	armed  bool
+	phase  obs.Phase
+	round  int
+	worker int
+	fired  bool
+}
+
+// fire reports (once) whether worker w reaching phase ph of round r is the
+// armed kill point.
+func (k *killPlan) fire(ph obs.Phase, r, w int) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if !k.armed || k.fired || w != k.worker || r != k.round || ph != k.phase {
+		return false
+	}
+	k.fired = true
+	return true
 }
 
 // netChurn is an installed delta batch awaiting absorption by Run.
@@ -79,8 +117,26 @@ func NewEngine(p int, part shard.Partitioner) *Engine {
 		part = shard.Hash{}
 	}
 	return &Engine{Transport: TransportPipe, p: p, part: part,
-		sm: &shard.ShardMetrics{}, churn: &netChurn{}, cm: &shard.ChurnMetrics{}}
+		sm: &shard.ShardMetrics{}, churn: &netChurn{}, cm: &shard.ChurnMetrics{},
+		kill: &killPlan{}, recov: new(int)}
 }
+
+// KillAt arms a one-shot fault injection for the next Run: worker dies —
+// its connection closed mid-protocol, its goroutine aborted — the first
+// time it reaches phase ph of round r. One-shot: the respawned incarnation
+// replaying the same round runs through the same point unharmed. With
+// Recover set the run then exercises the full crash-recovery path and must
+// still produce byte-identical results; without it the run fails exactly as
+// a real death would. Shared with WithWireLambda copies.
+func (e *Engine) KillAt(ph obs.Phase, r, w int) {
+	e.kill.mu.Lock()
+	e.kill.armed, e.kill.phase, e.kill.round, e.kill.worker, e.kill.fired = true, ph, r, w, false
+	e.kill.mu.Unlock()
+}
+
+// Recoveries returns the number of worker crash recoveries the most recent
+// Run performed (0 when recovery was off or nothing died).
+func (e *Engine) Recoveries() int { return *e.recov }
 
 // Churn installs a delta batch every subsequent Run absorbs over the wire
 // (DESIGN.md §9): the coordinator ships the batch to all P workers in a
@@ -190,33 +246,62 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 	}
 
 	var wg sync.WaitGroup
+	// runWorker is the worker goroutine body, shared between the initial
+	// spawn loop and recovery respawns so both incarnations are identical.
+	runWorker := func(s int, c *Conn) {
+		defer wg.Done()
+		defer c.Close()
+		// A panicking protocol hook (a factory bug) must not hang the
+		// coordinator: convert it into an error record so the run
+		// aborts with the reason. A fault-injection kill dies silently —
+		// the closed connection is the whole point.
+		defer func() {
+			if r := recover(); r != nil {
+				if err, ok := r.(error); ok && errors.Is(err, ErrKilled) {
+					return
+				}
+				c.SendError(fmt.Errorf("worker panic: %v", r))
+			}
+		}()
+		w := &Worker{c: c, g: g, assign: assign, lam: e.lam, Delay: e.Delay, Part: e.part, Trace: e.trace}
+		w.Kill = func(ph obs.Phase, r int) bool { return e.kill.fire(ph, r, s) }
+		if _, err := w.run(g, factory, maxRounds); err != nil && !errors.Is(err, ErrKilled) {
+			c.SendError(err)
+		}
+	}
 	for s := 0; s < p; s++ {
 		wg.Add(1)
-		go func(c *Conn) {
-			defer wg.Done()
-			defer c.Close()
-			// A panicking protocol hook (a factory bug) must not hang the
-			// coordinator: convert it into an error record so the run
-			// aborts with the reason.
-			defer func() {
-				if r := recover(); r != nil {
-					c.SendError(fmt.Errorf("worker panic: %v", r))
-				}
-			}()
-			w := &Worker{c: c, g: g, assign: assign, lam: e.lam, Delay: e.Delay, Part: e.part, Trace: e.trace}
-			if _, err := w.run(g, factory, maxRounds); err != nil {
-				c.SendError(err)
+		go runWorker(s, workers[s])
+	}
+	if e.Recover {
+		spec.Recover = true
+		spec.RetainRounds = e.RetainRounds
+		// Respawned workers always run over a fresh net.Pipe pair, whatever
+		// the original transport: the protocol bytes are transport-agnostic
+		// and the pipe needs no listener plumbing.
+		spec.Respawn = func(s int) (*Conn, error) {
+			a, b := net.Pipe()
+			cc, wc := NewConn(a), NewConn(b)
+			if e.IOTimeout > 0 {
+				cc.SetIOTimeout(e.IOTimeout)
+				wc.SetIOTimeout(e.IOTimeout)
 			}
-		}(workers[s])
+			wg.Add(1)
+			go runWorker(s, wc)
+			return cc, nil
+		}
 	}
 	met, rep, err := RunCoordinator(coord, spec)
-	for _, c := range coord {
-		c.Close()
+	for i := range coord {
+		// The hub shares this slice, so after a recovery coord[i] is the
+		// respawned worker's conn; dead incarnations were closed at restart.
+		coord[i].Close()
 	}
 	wg.Wait()
 	if err != nil {
 		panic("net: " + err.Error())
 	}
+	*e.recov = rep.Recoveries
 	rep.Sharding.EdgeCutFraction = shard.CutFraction(runG, runAssign)
 	*e.sm = rep.Sharding
 	return met

@@ -1,0 +1,147 @@
+package net
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"distkcore/internal/core"
+	"distkcore/internal/dist"
+	"distkcore/internal/graph"
+	"distkcore/internal/obs"
+	"distkcore/internal/quantize"
+	"distkcore/internal/shard"
+)
+
+// The crash-recovery determinism contract (DESIGN.md §13): a run in which a
+// worker is killed at ANY phase boundary of ANY round and then recovered
+// from its last checkpoint must produce results byte-identical to the
+// undisturbed run — same B vector, same dist.Metrics (Words included), same
+// cluster frame ledger. The sweep below exercises every (worker, phase,
+// round) kill point over the interesting rounds: 0 (Init, possibly before
+// any checkpoint exists), 1 (first resumable round), the middle and the
+// final round (whose recovery surfaces at the finish phase).
+
+// killPhases are the worker-side fault-injection seams of the round loop.
+var killPhases = []obs.Phase{obs.PhaseStep, obs.PhaseEncode, obs.PhaseBarrierWait, obs.PhaseDeliver}
+
+func recoveryEngine(p int) *Engine {
+	e := NewEngine(p, shard.Hash{})
+	e.Recover = true
+	e.IOTimeout = 10 * time.Second
+	return e
+}
+
+func TestRecoverySweepBitIdentical(t *testing.T) {
+	g := graph.BarabasiAlbert(150, 3, 11)
+	T := core.TForEpsilon(g.N(), 0.5)
+	opt := core.Options{Rounds: T, Lambda: quantize.NewPowerGrid(0.1)}
+
+	// Undisturbed capture — note the reference runs WITH recovery armed
+	// (checkpoints flowing) so the sweep isolates the kill+restore path, and
+	// a plain recovery-armed run is separately pinned against seq below.
+	refEng := recoveryEngine(3)
+	ref, refMet := core.RunDistributed(g, opt, refEng)
+	refLedger := refEng.ClusterMetrics()
+	if refEng.Recoveries() != 0 {
+		t.Fatalf("undisturbed run recovered %d times", refEng.Recoveries())
+	}
+	seqRef, seqMet := core.RunDistributed(g, opt, dist.SeqEngine{})
+	if refMet != seqMet || !reflect.DeepEqual(ref.B, seqRef.B) {
+		t.Fatalf("recovery-armed run diverges from seq before any fault")
+	}
+
+	rounds := refMet.Rounds
+	killRounds := map[int]bool{0: true, 1: true, rounds / 2: true, rounds: true}
+	for w := 0; w < 3; w++ {
+		for _, ph := range killPhases {
+			for r := range killRounds {
+				name := fmt.Sprintf("w%d/%s/r%d", w, ph, r)
+				t.Run(name, func(t *testing.T) {
+					eng := recoveryEngine(3)
+					eng.KillAt(ph, r, w)
+					res, met := core.RunDistributed(g, opt, eng)
+					if n := eng.Recoveries(); n < 1 {
+						t.Fatalf("kill point never recovered (recoveries=%d)", n)
+					}
+					if met != refMet {
+						t.Errorf("metrics %+v, want %+v", met, refMet)
+					}
+					if !reflect.DeepEqual(res.B, ref.B) {
+						t.Errorf("B vector diverges from undisturbed run")
+					}
+					if lg := eng.ClusterMetrics(); !reflect.DeepEqual(lg, refLedger) {
+						t.Errorf("cluster ledger %+v, want %+v", lg, refLedger)
+					}
+				})
+			}
+		}
+	}
+}
+
+// A kill without recovery armed must still fail the run — fault injection
+// does not soften the determinism-over-availability contract.
+func TestKillWithoutRecoveryFailsRun(t *testing.T) {
+	g := graph.BarabasiAlbert(80, 3, 2)
+	opt := core.Options{Rounds: 6}
+	eng := NewEngine(2, shard.Hash{})
+	eng.IOTimeout = 2 * time.Second
+	eng.KillAt(obs.PhaseBarrierWait, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("killed run without recovery returned normally")
+		}
+	}()
+	core.RunDistributed(g, opt, eng)
+}
+
+// Recovery over a churn run: the respawned worker must replay the retained
+// delta record and rebalance before resuming, landing on the identical
+// post-churn execution.
+func TestRecoveryAcrossChurn(t *testing.T) {
+	g := graph.BarabasiAlbert(140, 3, 6)
+	T := core.TForEpsilon(g.N(), 0.5)
+	opt := core.Options{Rounds: T}
+	delta := dist.RandomChurn(g, 40, 13)
+
+	ref := recoveryEngine(3)
+	ref.Churn(delta, 0)
+	refRes, refMet := core.RunDistributed(g, opt, ref)
+
+	eng := recoveryEngine(3)
+	eng.Churn(delta, 0)
+	eng.KillAt(obs.PhaseDeliver, 1, 2)
+	res, met := core.RunDistributed(g, opt, eng)
+	if eng.Recoveries() < 1 {
+		t.Fatal("churned kill point never recovered")
+	}
+	if met != refMet || !reflect.DeepEqual(res.B, refRes.B) {
+		t.Fatalf("churned recovery diverges: metrics %+v want %+v", met, refMet)
+	}
+}
+
+// Respawned worker goroutines must not outlive the run: the recovery path
+// adds goroutines (a new worker, a new hub reader) mid-run, and every one of
+// them has to drain when the run finishes. Run under -race in CI.
+func TestRecoveryNoGoroutineLeak(t *testing.T) {
+	g := graph.BarabasiAlbert(100, 3, 4)
+	opt := core.Options{Rounds: 8}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		eng := recoveryEngine(2)
+		eng.KillAt(obs.PhaseBarrierWait, 2, i%2)
+		core.RunDistributed(g, opt, eng)
+		if eng.Recoveries() < 1 {
+			t.Fatalf("iteration %d never recovered", i)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutines leaked across recovered runs: %d before, %d after", before, got)
+	}
+}

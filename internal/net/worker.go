@@ -2,6 +2,7 @@ package net
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
@@ -12,6 +13,36 @@ import (
 	"distkcore/internal/quantize"
 	"distkcore/internal/shard"
 )
+
+// ErrKilled is the sentinel a fault-injected worker dies with: the kill
+// hook closed the connection mid-protocol, exactly what a SIGKILL looks
+// like from the coordinator's side. Engine wrappers recognize it (via
+// errors.Is) and suppress the error record a real failure would send — a
+// crashed process sends nothing.
+var ErrKilled = errors.New("net: worker killed by fault injection")
+
+// KillFunc is the fault-injection seam of the recovery test harness: a
+// worker consults it at each phase boundary of its round loop (step,
+// encode, barrier-wait, deliver) and dies on the spot when it returns true.
+type KillFunc func(phase obs.Phase, round int) bool
+
+// frameChainSeed starts each worker's frame-chain digest: an FNV-1a fold
+// (offset basis, 64-bit prime) over every relayed frame the worker
+// receives, length then bytes, maintained identically by the coordinator at
+// relay time. A checkpoint carries the chain so the coordinator can verify
+// the worker received exactly the bytes it relayed — and a replayed
+// catch-up, folding the identical frames in the identical order, lands on
+// the identical chain (DESIGN.md §13).
+const frameChainSeed = uint64(14695981039346656037)
+
+// foldFrame folds one relayed frame record body into the chain.
+func foldFrame(h uint64, body []byte) uint64 {
+	h = (h ^ uint64(len(body))) * 1099511628211
+	for _, b := range body {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h
+}
 
 // DelayFunc is the transport's latency-injection seam: when non-nil a
 // worker calls it immediately before writing each cross-shard frame, with
@@ -53,6 +84,10 @@ type Worker struct {
 	// encode (framing + frame writes), barrier-wait (done flushed → deliver
 	// record arrives) and deliver spans, all under the worker's shard index.
 	Trace *obs.Tracer
+	// Kill, when non-nil, is the fault-injection hook (KillFunc): consulted
+	// at every phase boundary of the round loop, a true return crashes the
+	// worker — connection closed, no error record, Run dies with ErrKilled.
+	Kill KillFunc
 
 	c      *Conn
 	g      *graph.Graph
@@ -91,18 +126,38 @@ func (w *Worker) WithWireLambda(lam quantize.Lambda) dist.Engine {
 func (w *Worker) Name() string { return "net-worker" }
 
 // Run implements dist.Engine. It performs the handshake (unless Hello was
-// pre-read) and serves rounds until the coordinator finishes the run. The
-// protocol has no recovery story by design (DESIGN.md §8 — determinism
-// over availability): any connection failure or protocol violation panics
-// after a best-effort error record to the coordinator; cmd/cluster's
-// worker recovers the panic into an exit status.
+// pre-read) and serves rounds until the coordinator finishes the run. Any
+// connection failure or protocol violation panics after a best-effort error
+// record to the coordinator; cmd/cluster's worker recovers the panic into
+// an exit status. When the hello armed Recover (DESIGN.md §13), the worker
+// additionally checkpoints its driver state after every delivery and — in a
+// respawned incarnation — honors the coordinator's resume/replay records to
+// rejoin the run at the exact sealed barrier; worker death is then the
+// coordinator's problem, not the run's.
 func (w *Worker) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.Metrics {
 	met, err := w.run(g, factory, maxRounds)
 	if err != nil {
+		if errors.Is(err, ErrKilled) {
+			// A fault-injected crash: the connection is already closed and a
+			// dead process would send nothing. Panic with the sentinel value
+			// so engine goroutine wrappers can recognize it.
+			panic(err)
+		}
 		w.c.SendError(err)
 		panic("net: worker: " + err.Error())
 	}
 	return met
+}
+
+// killed consults the fault-injection hook and, on a hit, crashes the
+// worker: the connection closes mid-protocol and the caller returns
+// ErrKilled.
+func (w *Worker) killed(phase obs.Phase, round int) bool {
+	if w.Kill != nil && w.Kill(phase, round) {
+		w.c.Close()
+		return true
+	}
+	return false
 }
 
 // replayMsg is one decoded cross-shard message awaiting ghost replay.
@@ -254,6 +309,45 @@ func (w *Worker) run(g *graph.Graph, factory dist.Factory, maxRounds int) (dist.
 	// record is flushed, ended when the coordinator's deliver record
 	// arrives — the time this worker spends parked at the barrier.
 	var bw obs.SpanRef
+	// Recovery state (DESIGN.md §13): the frame-chain digest over received
+	// relayed frames, and the count of replayed frames still expected for
+	// the current catch-up round (0 outside catch-up).
+	chain := frameChainSeed
+	replayLeft := 0
+
+	// deliverNow is the shared tail of a round: ghost replay slots the
+	// remote sends into the Driver's queues, Deliver assembles every local
+	// inbox in the global deterministic order (ascending sender, ties in
+	// send order), and — under Recover — the sealed barrier state ships to
+	// the coordinator as a checkpoint. Both the normal deliver record and
+	// the last replayed frame of a catch-up round land here.
+	deliverNow := func() error {
+		bw.End()
+		bw = obs.SpanRef{}
+		dl := w.Trace.Begin(obs.PhaseDeliver, curRound, h.Shard)
+		for _, u := range senders {
+			d.Step(u, curRound)
+			gh.pending[u] = gh.pending[u][:0]
+		}
+		senders = senders[:0]
+		framesIn = 0
+		d.Deliver(nil)
+		dl.End()
+		if h.Recover {
+			st, err := d.AppendSnapshot(nil, local)
+			if err != nil {
+				return err
+			}
+			if err := w.c.writeRecord(recCheckpoint, codec.AppendCheckpoint(nil, codec.Checkpoint{
+				Round: curRound, FrameChain: chain,
+				Msgs: mMsgs, Words: mWords, Wire: mWire, State: st,
+			})); err != nil {
+				return err
+			}
+			return w.c.flush()
+		}
+		return nil
+	}
 
 	for {
 		typ, body, err := w.c.readRecord()
@@ -266,12 +360,18 @@ func (w *Worker) run(g *graph.Graph, factory dist.Factory, maxRounds int) (dist.
 			if k <= 0 {
 				return dist.Metrics{}, fmt.Errorf("net: truncated step record")
 			}
+			if w.killed(obs.PhaseStep, int(t)) {
+				return dist.Metrics{}, ErrKilled
+			}
 			curRound = int(t)
 			sp := w.Trace.Begin(obs.PhaseStep, curRound, h.Shard)
 			for _, v := range local {
 				d.Step(v, curRound)
 			}
 			sp.EndN(0, int64(len(local)))
+			if w.killed(obs.PhaseEncode, curRound) {
+				return dist.Metrics{}, ErrKilled
+			}
 			// Tap the shard's sends: price this worker's share of the
 			// protocol Metrics (every send, intra-shard included) and
 			// frame the cross-shard subset.
@@ -325,6 +425,9 @@ func (w *Worker) run(g *graph.Graph, factory dist.Factory, maxRounds int) (dist.
 			if err := w.c.flush(); err != nil {
 				return dist.Metrics{}, err
 			}
+			if w.killed(obs.PhaseBarrierWait, curRound) {
+				return dist.Metrics{}, ErrKilled
+			}
 			// The round's local hooks have all returned, so the previous
 			// round's decoded Vecs are dead — recycle before the frames of
 			// this round decode into the arena.
@@ -340,6 +443,9 @@ func (w *Worker) run(g *graph.Graph, factory dist.Factory, maxRounds int) (dist.
 			}
 			if fh.Dst != h.Shard || fh.Src == h.Shard || fh.Src < 0 || fh.Src >= h.P || fh.Round != curRound {
 				return dist.Metrics{}, fmt.Errorf("net: stray frame %+v at shard %d round %d", fh, h.Shard, curRound)
+			}
+			if h.Recover {
+				chain = foldFrame(chain, body)
 			}
 			rest := body[k:]
 			cnt := 0
@@ -366,6 +472,17 @@ func (w *Worker) run(g *graph.Graph, factory dist.Factory, maxRounds int) (dist.
 				return dist.Metrics{}, fmt.Errorf("net: frame %d→%d decoded %d messages, header says %d", fh.Src, fh.Dst, cnt, fh.Count)
 			}
 			framesIn++
+			if replayLeft > 0 {
+				// Catch-up: the coordinator announced exactly this many
+				// frames for the round; the last one triggers the delivery
+				// the original deliver record would have.
+				replayLeft--
+				if replayLeft == 0 {
+					if err := deliverNow(); err != nil {
+						return dist.Metrics{}, err
+					}
+				}
+			}
 
 		case recDeliver:
 			t, k := binary.Uvarint(body)
@@ -379,20 +496,74 @@ func (w *Worker) run(g *graph.Graph, factory dist.Factory, maxRounds int) (dist.
 			if int(t) != curRound || int(nf) != framesIn {
 				return dist.Metrics{}, fmt.Errorf("net: deliver(round %d, %d frames) but worker is at round %d with %d frames", t, nf, curRound, framesIn)
 			}
-			bw.End()
-			bw = obs.SpanRef{}
-			// Ghost replay slots the remote sends into the Driver's queues;
-			// Deliver then assembles every local inbox in the global
-			// deterministic order (ascending sender, ties in send order).
-			dl := w.Trace.Begin(obs.PhaseDeliver, curRound, h.Shard)
-			for _, u := range senders {
-				d.Step(u, curRound)
-				gh.pending[u] = gh.pending[u][:0]
+			if w.killed(obs.PhaseDeliver, curRound) {
+				return dist.Metrics{}, ErrKilled
 			}
-			senders = senders[:0]
-			framesIn = 0
-			d.Deliver(nil)
-			dl.End()
+			if err := deliverNow(); err != nil {
+				return dist.Metrics{}, err
+			}
+
+		case recResume:
+			// Re-admission (DESIGN.md §13): restore the driver to the last
+			// retained checkpoint — or to the fresh pre-Init state when no
+			// round was sealed before the crash — then expect Catchup rounds
+			// of recReplay + recFrame records.
+			rs, used, err := codec.DecodeResume(body)
+			if err != nil {
+				return dist.Metrics{}, err
+			}
+			if used != len(body) {
+				return dist.Metrics{}, fmt.Errorf("net: resume record carries %d trailing bytes", len(body)-used)
+			}
+			if rs.CkptRound >= 0 {
+				if err := d.RestoreSnapshot(rs.State, local); err != nil {
+					return dist.Metrics{}, err
+				}
+				curRound = rs.CkptRound
+				chain = rs.FrameChain
+				mMsgs, mWords, mWire = rs.Msgs, rs.Words, rs.Wire
+			} else {
+				curRound = -1
+				chain = frameChainSeed
+				mMsgs, mWords, mWire = 0, 0, 0
+			}
+			replayLeft = 0
+
+		case recReplay:
+			// One catch-up round: re-run the local hooks (metrics tapped,
+			// frame writes suppressed — the coordinator already relayed the
+			// identical bytes to the peers), then absorb the announced
+			// replayed frames; the last one delivers.
+			rp, used, err := codec.DecodeReplay(body)
+			if err != nil {
+				return dist.Metrics{}, err
+			}
+			if used != len(body) {
+				return dist.Metrics{}, fmt.Errorf("net: replay record carries %d trailing bytes", len(body)-used)
+			}
+			if rp.Round != curRound+1 || rp.Frames < 0 {
+				return dist.Metrics{}, fmt.Errorf("net: replay(round %d, %d frames) but worker is at round %d", rp.Round, rp.Frames, curRound)
+			}
+			curRound = rp.Round
+			for _, v := range local {
+				d.Step(v, curRound)
+			}
+			for _, v := range local {
+				d.Sends(v, func(to graph.NodeID, m dist.Message) {
+					mMsgs++
+					mWords += int64(m.Words())
+					mWire += int64(dist.WireSize(lam, m))
+				})
+			}
+			if arena != nil {
+				arena.Reset()
+			}
+			replayLeft = rp.Frames
+			if rp.Frames == 0 {
+				if err := deliverNow(); err != nil {
+					return dist.Metrics{}, err
+				}
+			}
 
 		case recFinish:
 			rounds, k := binary.Uvarint(body)

@@ -71,12 +71,18 @@ const (
 	PhasePublish
 	// PhaseEpoch is one whole session epoch, broadcast to seal.
 	PhaseEpoch
+	// PhaseRecover is crash recovery: re-admitting a dead worker and
+	// restoring it from its last retained checkpoint (DESIGN.md §13).
+	PhaseRecover
+	// PhaseReplay is catch-up replay: re-sending one round of relayed
+	// frames to a recovered worker.
+	PhaseReplay
 	numPhases
 )
 
 var phaseNames = [numPhases]string{
 	"step", "encode", "relay", "deliver", "barrier-wait",
-	"repair", "rebalance", "publish", "epoch",
+	"repair", "rebalance", "publish", "epoch", "recover", "replay",
 }
 
 // String returns the phase's canonical name, e.g. "barrier-wait".

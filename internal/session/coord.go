@@ -62,6 +62,17 @@ type Coordinator struct {
 	// trace, when set, records one epoch span per Push plus the publish
 	// span (repair/rebalance spans come from the worker side).
 	trace *obs.Tracer
+	// Crash recovery (DESIGN.md §13), armed by EnableRecovery: respawn
+	// produces a fresh connection to a restarted worker, lastStamp is the
+	// re-admission stamp (the last sealed epoch's), attempts caps per-worker
+	// recoveries and recovered counts the successful ones. stash defers
+	// records other workers interleave while a recovery exchange awaits a
+	// specific worker's reply.
+	respawn   func(shard int) (*net.Conn, error)
+	lastStamp codec.Stamp
+	attempts  []int
+	recovered int64
+	stash     []hubRec
 	// Running totals behind Stat; owned by the session goroutine.
 	pushes, rejected    int64
 	changed, deltaBytes int64
@@ -97,11 +108,172 @@ func NewCoordinator(hub *net.Hub, g *graph.Graph, assign []int, part shard.Parti
 	if err := c.broadcastStamp(st); err != nil {
 		return nil, c.fail(0, "stamp-broadcast", err)
 	}
-	if err := c.collectEchoes(st); err != nil {
+	if err := c.collectEchoes(st, nil, nil); err != nil {
 		return nil, c.fail(0, "stamp-echo", err)
 	}
+	c.lastStamp = st
 	c.publishStat()
 	return c, nil
+}
+
+// EnableRecovery arms session-level crash recovery (DESIGN.md §13): a
+// worker fault during an epoch seal is answered by respawning the worker
+// and re-admitting it with the last sealed epoch's stamp instead of
+// latching the session broken. The respawned worker recomputes its state
+// from the current committed graph — sessions run Λ = ℝ with an exact
+// incremental oracle, so the recomputation is bit-identical to the state
+// the dead worker held — which is why no state ships. respawn is called
+// from the session-owning goroutine. Epoch-0 faults (NewCoordinator) stay
+// fatal: recovery can only be armed on a sealed session.
+func (c *Coordinator) EnableRecovery(respawn func(shard int) (*net.Conn, error)) {
+	c.respawn = respawn
+}
+
+// Recoveries returns the number of worker crash recoveries this session has
+// performed.
+func (c *Coordinator) Recoveries() int64 { return c.recovered }
+
+// recoverable reports whether worker death is survivable.
+func (c *Coordinator) recoverable() bool { return c.respawn != nil }
+
+// hubRec is one deferred hub record (see stash).
+type hubRec struct {
+	from int
+	typ  byte
+	body []byte
+	err  error
+}
+
+// maxRecoveries caps recovery attempts per worker per session, so a crash
+// loop eventually breaks the session instead of respawning forever.
+const maxRecoveries = 8
+
+// nextRec receives one record for a collect loop: stashed records drain
+// FIFO before the hub is touched again, so per-worker order holds across a
+// recovery exchange.
+func (c *Coordinator) nextRec() (int, byte, []byte, error) {
+	if len(c.stash) > 0 {
+		r := c.stash[0]
+		c.stash = c.stash[1:]
+		return r.from, r.typ, r.body, r.err
+	}
+	return c.hub.Next()
+}
+
+// awaitFrom receives the next record from worker w specifically, stashing
+// whatever other workers interleave (their reconverges, echoes and even
+// deaths are deferred, not lost).
+func (c *Coordinator) awaitFrom(w int) (byte, []byte, error) {
+	for i, r := range c.stash {
+		if r.from == w {
+			c.stash = append(c.stash[:i], c.stash[i+1:]...)
+			return r.typ, r.body, r.err
+		}
+	}
+	for {
+		from, typ, body, err := c.hub.Next()
+		if from != w && from >= 0 {
+			c.stash = append(c.stash, hubRec{from: from, typ: typ, body: body, err: err})
+			continue
+		}
+		return typ, body, err
+	}
+}
+
+// recoverWorker respawns worker w and re-admits it: the fresh connection
+// replaces the dead one in the hub, the last sealed epoch's stamp goes out
+// as the resume record, and the worker — having recomputed its state from
+// the committed graph — must echo it byte-identically. On return the worker
+// stands at the last sealed epoch, parked in its serve loop.
+func (c *Coordinator) recoverWorker(w int) error {
+	if !c.recoverable() {
+		return fmt.Errorf("session: worker %d died and recovery is not armed", w)
+	}
+	if c.attempts == nil {
+		c.attempts = make([]int, c.p)
+	}
+	if c.attempts[w]++; c.attempts[w] > maxRecoveries {
+		return fmt.Errorf("session: worker %d died %d times; giving up", w, c.attempts[w])
+	}
+	sp := c.trace.Begin(obs.PhaseRecover, c.epoch, w)
+	defer sp.End()
+	cn, err := c.respawn(w)
+	if err != nil {
+		return fmt.Errorf("session: respawning worker %d: %w", w, err)
+	}
+	// Close the dead incarnation's conn (its reader's final error is
+	// generation-filtered by the hub) and swap in the replacement.
+	c.hub.Conn(w).Close()
+	c.hub.Replace(w, cn)
+	st := c.lastStamp
+	if err := cn.WriteRecord(net.RecEpochResume, codec.AppendStamp(nil, st)); err != nil {
+		return fmt.Errorf("session: re-admitting worker %d: %w", w, err)
+	}
+	if err := cn.Flush(); err != nil {
+		return fmt.Errorf("session: re-admitting worker %d: %w", w, err)
+	}
+	typ, body, err := c.awaitFrom(w)
+	if err != nil {
+		return fmt.Errorf("session: re-admitting worker %d: %w", w, err)
+	}
+	if typ != net.RecValuesDigest {
+		return fmt.Errorf("session: worker %d answered resume with record type %d", w, typ)
+	}
+	echo, _, err := codec.DecodeStamp(body)
+	if err != nil {
+		return fmt.Errorf("session: re-admitting worker %d: %w", w, err)
+	}
+	if echo != st {
+		return fmt.Errorf("session: worker %d resume echo %+v, want %+v", w, echo, st)
+	}
+	c.recovered++
+	c.publishStat()
+	return nil
+}
+
+// redoEpoch walks a freshly recovered worker — standing at the last sealed
+// epoch — through the in-flight epoch privately: re-send the delta push,
+// collect its reconverge (which determinism demands equal the dead
+// incarnation's change set bit for bit), and hand it the sealing stamp. Its
+// echo then arrives through the ordinary collection.
+func (c *Coordinator) redoEpoch(w, epoch int, push []byte, st codec.Stamp, want []ValueChange) error {
+	cn := c.hub.Conn(w)
+	if err := cn.WriteRecord(net.RecDeltaPush, push); err != nil {
+		return fmt.Errorf("session: redoing epoch %d at worker %d: %w", epoch, w, err)
+	}
+	if err := cn.Flush(); err != nil {
+		return fmt.Errorf("session: redoing epoch %d at worker %d: %w", epoch, w, err)
+	}
+	typ, body, err := c.awaitFrom(w)
+	if err != nil {
+		return fmt.Errorf("session: redoing epoch %d at worker %d: %w", epoch, w, err)
+	}
+	if typ != net.RecReconverge {
+		return fmt.Errorf("session: worker %d sent record type %d during epoch %d redo, want reconverge", w, typ, epoch)
+	}
+	r, err := DecodeReconverge(body)
+	if err != nil {
+		return err
+	}
+	if r.Epoch != epoch || r.GraphHash != st.GraphHash || r.PartDigest != st.PartDigest {
+		return fmt.Errorf("session: worker %d redo reconverge (epoch %d, %#x, %#x) disagrees with seal (epoch %d, %#x, %#x)",
+			w, r.Epoch, r.GraphHash, r.PartDigest, epoch, st.GraphHash, st.PartDigest)
+	}
+	if len(r.Changes) != len(want) {
+		return fmt.Errorf("session: worker %d redo shipped %d changes, dead incarnation shipped %d", w, len(r.Changes), len(want))
+	}
+	for i := range want {
+		if r.Changes[i] != want[i] {
+			return fmt.Errorf("session: worker %d redo change %d differs from the dead incarnation's", w, i)
+		}
+	}
+	if err := cn.WriteRecord(net.RecValuesDigest, codec.AppendStamp(nil, st)); err != nil {
+		return fmt.Errorf("session: redoing epoch %d at worker %d: %w", epoch, w, err)
+	}
+	if err := cn.Flush(); err != nil {
+		return fmt.Errorf("session: redoing epoch %d at worker %d: %w", epoch, w, err)
+	}
+	return nil
 }
 
 // SetTracer installs (or, with nil, removes) the tracer subsequent pushes
@@ -134,11 +306,23 @@ func (c *Coordinator) Push(d dist.GraphDelta, moveBudget int) (*EpochReport, err
 	sealStart := time.Now()
 	ep := c.trace.Begin(obs.PhaseEpoch, epoch, -1)
 	push := AppendDeltaPush(nil, epoch, moveBudget, d)
-	if err := c.broadcast(net.RecDeltaPush, push); err != nil {
-		return nil, c.fail(epoch, "delta-broadcast", err)
+	for i := 0; i < c.p; i++ {
+		if err := c.sendTo(i, net.RecDeltaPush, push); err != nil {
+			// Dead before the epoch reached it: recover to the sealed epoch
+			// and hand it the push again.
+			if !c.recoverable() {
+				return nil, c.fail(epoch, "delta-broadcast", faultOf(i, err))
+			}
+			if rerr := c.recoverWorker(i); rerr != nil {
+				return nil, c.fail(epoch, "delta-broadcast", faultOf(i, fmt.Errorf("%v (recovery: %w)", err, rerr)))
+			}
+			if err := c.sendTo(i, net.RecDeltaPush, push); err != nil {
+				return nil, c.fail(epoch, "delta-broadcast", faultOf(i, err))
+			}
+		}
 	}
 	gh, pd := g2.Fingerprint(), shard.PartitionDigest(next)
-	all, err := c.collectReconverges(epoch, gh, pd, next)
+	all, byWorker, err := c.collectReconverges(epoch, gh, pd, next, push)
 	if err != nil {
 		return nil, c.fail(epoch, "reconverge", err)
 	}
@@ -156,10 +340,22 @@ func (c *Coordinator) Push(d dist.GraphDelta, moveBudget int) (*EpochReport, err
 	vd := ValuesDigest(cur)
 	chain := ChainNext(c.chain, gh, pd, vd)
 	st := codec.Stamp{Epoch: epoch, GraphHash: gh, PartDigest: pd, ValuesDigest: vd, ChainDigest: chain, Changed: len(all)}
-	if err := c.broadcastStamp(st); err != nil {
-		return nil, c.fail(epoch, "stamp-broadcast", err)
+	for i := 0; i < c.p; i++ {
+		if err := c.sendTo(i, net.RecValuesDigest, codec.AppendStamp(nil, st)); err != nil {
+			// Dead between its reconverge and the seal: recover to the sealed
+			// epoch and redo the in-flight one privately.
+			if !c.recoverable() {
+				return nil, c.fail(epoch, "stamp-broadcast", faultOf(i, err))
+			}
+			if rerr := c.recoverWorker(i); rerr != nil {
+				return nil, c.fail(epoch, "stamp-broadcast", faultOf(i, fmt.Errorf("%v (recovery: %w)", err, rerr)))
+			}
+			if rerr := c.redoEpoch(i, epoch, push, st, byWorker[i]); rerr != nil {
+				return nil, c.fail(epoch, "stamp-broadcast", faultOf(i, rerr))
+			}
+		}
 	}
-	if err := c.collectEchoes(st); err != nil {
+	if err := c.collectEchoes(st, push, byWorker); err != nil {
 		return nil, c.fail(epoch, "stamp-echo", err)
 	}
 
@@ -167,6 +363,7 @@ func (c *Coordinator) Push(d dist.GraphDelta, moveBudget int) (*EpochReport, err
 	c.g, c.assign, c.b = g2, next, cur
 	c.epoch, c.chain = epoch, chain
 	c.gh, c.pd, c.vd = gh, pd, vd
+	c.lastStamp = st
 	pub := c.trace.Begin(obs.PhasePublish, epoch, -1)
 	notifs := c.subs.Publish(epoch, prev, cur, changedNodes(all))
 	pub.EndN(0, int64(len(notifs)))
@@ -184,63 +381,117 @@ func (c *Coordinator) Push(d dist.GraphDelta, moveBudget int) (*EpochReport, err
 	}, nil
 }
 
+// soleLaggard attributes a from-less fault (a timeout) to the only worker
+// still owed a record, or -1 when the blame cannot land on exactly one.
+func soleLaggard(got []bool) int {
+	cand, lagging := -1, 0
+	for i, g := range got {
+		if !g {
+			cand, lagging = i, lagging+1
+		}
+	}
+	if lagging == 1 {
+		return cand
+	}
+	return -1
+}
+
 // collectReconverges gathers one reconverge per worker, verifying digests,
-// epoch, post-rebalance ownership and duplicate-freedom, and returns the
-// merged change set ascending by node.
-func (c *Coordinator) collectReconverges(epoch int, gh, pd uint64, next []int) ([]ValueChange, error) {
-	var all []ValueChange
+// epoch, post-rebalance ownership and duplicate-freedom. It returns the
+// merged change set ascending by node plus each worker's own slice (what a
+// stamp-phase recovery redo must reproduce). A worker fault mid-collection
+// is recovered inline when recovery is armed: the dead worker's
+// contribution — if any — is discarded, the worker restored to the sealed
+// epoch, and the push re-sent; its fresh reconverge is bit-identical by
+// determinism.
+func (c *Coordinator) collectReconverges(epoch int, gh, pd uint64, next []int, push []byte) ([]ValueChange, [][]ValueChange, error) {
+	byWorker := make([][]ValueChange, c.p)
 	got := make([]bool, c.p)
-	for i := 0; i < c.p; i++ {
-		from, typ, body, err := c.hub.Next()
+	for n := 0; n < c.p; {
+		from, typ, body, err := c.nextRec()
 		if err != nil {
-			return nil, faultOf(from, err)
+			w := from
+			if w < 0 {
+				w = soleLaggard(got)
+			}
+			if w < 0 || !c.recoverable() {
+				return nil, nil, faultOf(from, err)
+			}
+			if got[w] {
+				// Died after reconverging; drop its set and let the redo
+				// reproduce it, so one path covers both orders.
+				got[w], byWorker[w] = false, nil
+				n--
+			}
+			if rerr := c.recoverWorker(w); rerr != nil {
+				return nil, nil, faultOf(w, fmt.Errorf("%v (recovery: %w)", err, rerr))
+			}
+			if serr := c.sendTo(w, net.RecDeltaPush, push); serr != nil {
+				return nil, nil, faultOf(w, serr)
+			}
+			continue
 		}
 		if typ != net.RecReconverge {
-			return nil, faultOf(from, fmt.Errorf("session: worker %d sent record type %d, want reconverge", from, typ))
+			return nil, nil, faultOf(from, fmt.Errorf("session: worker %d sent record type %d, want reconverge", from, typ))
 		}
 		r, err := DecodeReconverge(body)
 		if err != nil {
-			return nil, faultOf(from, err)
+			return nil, nil, faultOf(from, err)
 		}
 		switch {
 		case got[from]:
-			return nil, faultOf(from, fmt.Errorf("session: worker %d reconverged twice at epoch %d", from, epoch))
+			return nil, nil, faultOf(from, fmt.Errorf("session: worker %d reconverged twice at epoch %d", from, epoch))
 		case r.Epoch != epoch:
-			return nil, faultOf(from, fmt.Errorf("session: worker %d reconverged epoch %d, want %d", from, r.Epoch, epoch))
+			return nil, nil, faultOf(from, fmt.Errorf("session: worker %d reconverged epoch %d, want %d", from, r.Epoch, epoch))
 		case r.GraphHash != gh:
-			return nil, faultOf(from, fmt.Errorf("session: worker %d epoch %d graph fingerprint %#x, coordinator %#x", from, epoch, r.GraphHash, gh))
+			return nil, nil, faultOf(from, fmt.Errorf("session: worker %d epoch %d graph fingerprint %#x, coordinator %#x", from, epoch, r.GraphHash, gh))
 		case r.PartDigest != pd:
-			return nil, faultOf(from, fmt.Errorf("session: worker %d epoch %d partition digest %#x, coordinator %#x", from, epoch, r.PartDigest, pd))
+			return nil, nil, faultOf(from, fmt.Errorf("session: worker %d epoch %d partition digest %#x, coordinator %#x", from, epoch, r.PartDigest, pd))
 		}
-		got[from] = true
 		for _, ch := range r.Changes {
 			if ch.Node < 0 || ch.Node >= len(next) {
-				return nil, faultOf(from, fmt.Errorf("session: worker %d shipped change for node %d of %d", from, ch.Node, len(next)))
+				return nil, nil, faultOf(from, fmt.Errorf("session: worker %d shipped change for node %d of %d", from, ch.Node, len(next)))
 			}
 			if next[ch.Node] != from {
-				return nil, faultOf(from, fmt.Errorf("session: worker %d shipped change for node %d owned by shard %d", from, ch.Node, next[ch.Node]))
+				return nil, nil, faultOf(from, fmt.Errorf("session: worker %d shipped change for node %d owned by shard %d", from, ch.Node, next[ch.Node]))
 			}
 		}
-		all = append(all, r.Changes...)
+		got[from] = true
+		byWorker[from] = r.Changes
+		n++
+	}
+	var all []ValueChange
+	for _, chs := range byWorker {
+		all = append(all, chs...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Node < all[j].Node })
 	for i := 1; i < len(all); i++ {
 		if all[i].Node == all[i-1].Node {
-			return nil, fmt.Errorf("session: two workers shipped node %d at epoch %d", all[i].Node, epoch)
+			return nil, nil, fmt.Errorf("session: two workers shipped node %d at epoch %d", all[i].Node, epoch)
 		}
 	}
-	return all, nil
+	return all, byWorker, nil
 }
 
-// broadcast writes one record to every worker.
+// sendTo writes and flushes one record to worker i (re-reading the hub's
+// slot, so a recovery's replacement connection is picked up).
+func (c *Coordinator) sendTo(i int, typ byte, body []byte) error {
+	cn := c.hub.Conn(i)
+	if err := cn.WriteRecord(typ, body); err != nil {
+		return fmt.Errorf("session: record to worker %d: %w", i, err)
+	}
+	if err := cn.Flush(); err != nil {
+		return fmt.Errorf("session: record to worker %d: %w", i, err)
+	}
+	return nil
+}
+
+// broadcast writes one record to every worker (no recovery — used by the
+// epoch-0 seal and the goodbye).
 func (c *Coordinator) broadcast(typ byte, body []byte) error {
 	for i := 0; i < c.p; i++ {
-		cn := c.hub.Conn(i)
-		if err := cn.WriteRecord(typ, body); err != nil {
-			return fmt.Errorf("session: broadcast to worker %d: %w", i, err)
-		}
-		if err := cn.Flush(); err != nil {
-			return fmt.Errorf("session: broadcast to worker %d: %w", i, err)
+		if err := c.sendTo(i, typ, body); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -250,13 +501,35 @@ func (c *Coordinator) broadcastStamp(st codec.Stamp) error {
 	return c.broadcast(net.RecValuesDigest, codec.AppendStamp(nil, st))
 }
 
-// collectEchoes demands every worker's byte-identical stamp echo.
-func (c *Coordinator) collectEchoes(want codec.Stamp) error {
+// collectEchoes demands every worker's byte-identical stamp echo. With
+// recovery armed (push non-nil), a worker fault is answered by recovering
+// the worker and walking it through a private epoch redo; its echo then
+// arrives like everyone else's.
+func (c *Coordinator) collectEchoes(want codec.Stamp, push []byte, byWorker [][]ValueChange) error {
 	got := make([]bool, c.p)
-	for i := 0; i < c.p; i++ {
-		from, typ, body, err := c.hub.Next()
+	for n := 0; n < c.p; {
+		from, typ, body, err := c.nextRec()
 		if err != nil {
-			return faultOf(from, err)
+			w := from
+			if w < 0 {
+				w = soleLaggard(got)
+			}
+			if w < 0 || push == nil || !c.recoverable() {
+				return faultOf(from, err)
+			}
+			if got[w] {
+				// Echoed, then died: it must still be re-admitted for the
+				// epochs to come, and the redo makes it echo again.
+				got[w] = false
+				n--
+			}
+			if rerr := c.recoverWorker(w); rerr != nil {
+				return faultOf(w, fmt.Errorf("%v (recovery: %w)", err, rerr))
+			}
+			if rerr := c.redoEpoch(w, want.Epoch, push, want, byWorker[w]); rerr != nil {
+				return faultOf(w, rerr)
+			}
+			continue
 		}
 		if typ != net.RecValuesDigest {
 			return faultOf(from, fmt.Errorf("session: worker %d sent record type %d, want stamp echo", from, typ))
@@ -272,6 +545,7 @@ func (c *Coordinator) collectEchoes(want codec.Stamp) error {
 			return faultOf(from, fmt.Errorf("session: worker %d echoed %+v, want %+v", from, st, want))
 		}
 		got[from] = true
+		n++
 	}
 	return nil
 }

@@ -1,7 +1,9 @@
 package session
 
 import (
+	"errors"
 	"fmt"
+	stdnet "net"
 	"sync"
 	"time"
 
@@ -35,6 +37,16 @@ type Options struct {
 	// seal/publish spans coordinator-side and repair/rebalance spans
 	// worker-side.
 	Trace *obs.Tracer
+	// Recover arms crash recovery (DESIGN.md §13): a worker death during
+	// the epoch-0 run is checkpoint-restored by the net layer, and one
+	// during a later epoch seal is respawned and re-admitted at the last
+	// sealed epoch instead of latching the session broken. Epoch-0
+	// handshake faults stay fatal either way.
+	Recover bool
+	// kill, when non-nil, hands each worker goroutine its fault-injection
+	// hook (the recovery tests' seam; unexported because fault injection is
+	// not part of the public session surface).
+	kill func(worker int) net.KillFunc
 }
 
 // Session is the in-process form of a long-lived cluster: P worker
@@ -91,28 +103,39 @@ func Open(g *graph.Graph, opt Options) (*Session, error) {
 	}
 
 	s := &Session{conns: coord, cleanup: cleanup}
-	for i := 0; i < p; i++ {
+	// spawn runs one worker goroutine over c from fn, suppressing the
+	// fault-injection sentinel: a killed worker dies silently (its conn is
+	// already closed), everything else aborts the session with its reason —
+	// a panic anywhere in the worker stack (Worker.Run converts protocol
+	// errors into panics) must never hang the coordinator.
+	spawn := func(idx int, c *net.Conn, fn func() error) {
 		s.wg.Add(1)
-		go func(idx int, c *net.Conn) {
+		go func() {
 			defer s.wg.Done()
 			defer c.Close()
-			// A panic anywhere in the worker stack (Worker.Run converts
-			// protocol errors into panics) must abort the session with its
-			// reason, never hang the coordinator.
 			defer func() {
 				if r := recover(); r != nil {
+					if e2, ok := r.(error); ok && errors.Is(e2, net.ErrKilled) {
+						return
+					}
 					c.SendError(fmt.Errorf("session worker panic: %v", r))
 				}
 			}()
-			if err := serveInProcessWorker(c, g, assign, idx, p, T, part, opt.Trace); err != nil {
+			if err := fn(); err != nil && !errors.Is(err, net.ErrKilled) {
 				c.SendError(err)
 			}
-		}(i, workers[i])
+		}()
+	}
+	for i := 0; i < p; i++ {
+		idx, wc := i, workers[i]
+		spawn(idx, wc, func() error {
+			return serveInProcessWorker(wc, g, assign, idx, p, T, part, opt.Trace, opt.kill)
+		})
 	}
 
 	hub := net.NewHub(coord)
 	s.hub = hub
-	met, rep, err := hub.Run(net.Spec{
+	spec := net.Spec{
 		P:          p,
 		MaxRounds:  T,
 		GraphHash:  g.Fingerprint(),
@@ -120,7 +143,33 @@ func Open(g *graph.Graph, opt Options) (*Session, error) {
 		WantValues: true,
 		IOTimeout:  opt.IOTimeout,
 		Trace:      opt.Trace,
-	})
+	}
+	// respawnConn builds a fresh in-process pipe to a replacement worker
+	// goroutine started by run; both the epoch-0 net-layer recovery and the
+	// session-layer epoch recovery funnel through it.
+	respawnConn := func(run func(idx int, wc *net.Conn)) func(int) (*net.Conn, error) {
+		return func(idx int) (*net.Conn, error) {
+			a, b := stdnet.Pipe()
+			cc, wc := net.NewConn(a), net.NewConn(b)
+			if opt.IOTimeout > 0 {
+				cc.SetIOTimeout(opt.IOTimeout)
+				wc.SetIOTimeout(opt.IOTimeout)
+			}
+			run(idx, wc)
+			return cc, nil
+		}
+	}
+	if opt.Recover {
+		spec.Recover = true
+		// An epoch-0 respawn replays the whole worker life: handshake,
+		// checkpoint-restored run, then the session serve loop.
+		spec.Respawn = respawnConn(func(idx int, wc *net.Conn) {
+			spawn(idx, wc, func() error {
+				return serveInProcessWorker(wc, g, assign, idx, p, T, part, opt.Trace, opt.kill)
+			})
+		})
+	}
+	met, rep, err := hub.Run(spec)
 	if err != nil {
 		s.teardown()
 		return nil, err
@@ -137,6 +186,18 @@ func Open(g *graph.Graph, opt Options) (*Session, error) {
 		return nil, err
 	}
 	co.SetTracer(opt.Trace)
+	if opt.Recover {
+		// Session-layer recovery: the respawned worker recomputes its state
+		// from the coordinator's committed graph and assignment — read at
+		// respawn time, so a recovery mid-epoch-e restores to the sealed
+		// epoch e-1 — and joins via ServeResumed.
+		co.EnableRecovery(respawnConn(func(idx int, wc *net.Conn) {
+			g2, as2 := co.g, co.assign
+			spawn(idx, wc, func() error {
+				return serveResumedWorker(wc, g2, as2, idx, p, T, part, opt.Trace, opt.kill)
+			})
+		}))
+	}
 	s.co = co
 	return s, nil
 }
@@ -144,15 +205,20 @@ func Open(g *graph.Graph, opt Options) (*Session, error) {
 // serveInProcessWorker is one worker goroutine's whole life: handshake and
 // epoch-0 run (exactly what cmd/cluster's worker does), ship values, build
 // the session state, serve epochs until Bye.
-func serveInProcessWorker(c *net.Conn, g *graph.Graph, assign []int, idx, p, T int, part shard.Partitioner, tr *obs.Tracer) error {
+func serveInProcessWorker(c *net.Conn, g *graph.Graph, assign []int, idx, p, T int, part shard.Partitioner, tr *obs.Tracer, kill func(int) net.KillFunc) error {
 	h, err := net.ReadHello(c)
 	if err != nil {
 		return err
+	}
+	var kf net.KillFunc
+	if kill != nil {
+		kf = kill(idx)
 	}
 	w := net.NewWorker(c, g, assign)
 	w.Hello = h
 	w.Part = part
 	w.Trace = tr
+	w.Kill = kf
 	res, _ := core.RunDistributed(g, core.Options{Rounds: T}, w)
 	if err := w.SendValues(res.B); err != nil {
 		return err
@@ -162,7 +228,27 @@ func serveInProcessWorker(c *net.Conn, g *graph.Graph, assign []int, idx, p, T i
 		return err
 	}
 	ws.SetTracer(tr)
+	ws.Kill = kf
 	return ws.ServeEpochs()
+}
+
+// serveResumedWorker is a crash-recovered session worker's life (DESIGN.md
+// §13): rebuild the oracle from the committed graph and assignment — the
+// exact incremental oracle under Λ = ℝ makes the recomputed state
+// bit-identical to what the dead incarnation held at the last seal, so no
+// state ships — then verify and echo the re-admission stamp and join the
+// epoch loop. runB is nil: there is no fresh run to cross-check against;
+// the resume stamp's values digest is the admission check instead.
+func serveResumedWorker(c *net.Conn, g *graph.Graph, assign []int, idx, p, T int, part shard.Partitioner, tr *obs.Tracer, kill func(int) net.KillFunc) error {
+	ws, err := NewWorkerState(c, g, assign, idx, p, T, part, nil)
+	if err != nil {
+		return err
+	}
+	ws.SetTracer(tr)
+	if kill != nil {
+		ws.Kill = kill(idx)
+	}
+	return ws.ServeResumed()
 }
 
 // Push streams one delta batch as the next epoch (see Coordinator.Push for
@@ -199,6 +285,11 @@ func (s *Session) Digests() (graphHash, partDigest, valuesDigest uint64) { retur
 
 // Metrics returns the epoch-0 run's dist.Metrics.
 func (s *Session) Metrics() dist.Metrics { return s.met }
+
+// Recoveries returns the number of worker crash recoveries performed since
+// the session opened (epoch-level ones; epoch-0 run recoveries are counted
+// by the net layer).
+func (s *Session) Recoveries() int64 { return s.co.Recoveries() }
 
 // Report returns the epoch-0 run's cluster report.
 func (s *Session) Report() *net.Report { return s.rep }

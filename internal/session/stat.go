@@ -92,6 +92,7 @@ func (c *Coordinator) Stat() codec.Stat {
 		DeltaBytes:    c.deltaBytes,
 		Notifications: c.notifs,
 		EpochMicros:   c.epochMicros,
+		Recoveries:    c.recovered,
 		CauseWorker:   -1,
 	}
 	if bc := c.Cause(); bc != nil {

@@ -1,6 +1,7 @@
 package session
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -18,6 +19,12 @@ import (
 // oracle, and the digest chain. Drive it with ServeEpochs on the same
 // connection the run used.
 type WorkerState struct {
+	// Kill, when non-nil, is the fault-injection hook of the recovery test
+	// harness (net.KillFunc over epoch phases): consulted at the epoch
+	// boundaries of the serve loop, a true return crashes the worker —
+	// connection closed, no error record, the loop dies with net.ErrKilled.
+	Kill net.KillFunc
+
 	c      *net.Conn
 	g      *graph.Graph
 	assign []int
@@ -93,6 +100,29 @@ func (w *WorkerState) ServeEpochs() error {
 		w.c.SendError(err)
 		return err
 	}
+	return w.serveLoop()
+}
+
+// ServeResumed is the serve loop of a respawned session worker (DESIGN.md
+// §13): instead of an epoch-0 stamp, the first record must be the
+// coordinator's RecEpochResume carrying the stamp of the last sealed epoch.
+// The worker holds *recomputed* state — the caller built it from the
+// current committed graph and assignment, so the oracle is already at the
+// sealed values (derived-state recovery ships no state) — verifies the
+// stamp's graph/partition/values digests against that state, adopts the
+// epoch number and chain digest, echoes the stamp byte-identically as its
+// re-admission proof, and joins the ordinary epoch loop.
+func (w *WorkerState) ServeResumed() error {
+	if err := w.sealResume(); err != nil {
+		w.c.SendError(err)
+		return err
+	}
+	return w.serveLoop()
+}
+
+// serveLoop is the steady-state epoch loop shared by fresh and resumed
+// workers.
+func (w *WorkerState) serveLoop() error {
 	for {
 		typ, body, err := w.c.AwaitRecord()
 		if err != nil {
@@ -103,7 +133,9 @@ func (w *WorkerState) ServeEpochs() error {
 			return nil
 		case net.RecDeltaPush:
 			if err := w.epochStep(body); err != nil {
-				w.c.SendError(err)
+				if !errors.Is(err, net.ErrKilled) {
+					w.c.SendError(err)
+				}
 				return err
 			}
 		default:
@@ -112,6 +144,46 @@ func (w *WorkerState) ServeEpochs() error {
 			return err
 		}
 	}
+}
+
+// sealResume reads, verifies and echoes the re-admission stamp. The chain
+// digest cannot be re-derived from the graph alone (it folds the whole
+// epoch history), so the worker verifies what IS derivable — graph,
+// partition and values digests — and adopts the coordinator's chain; every
+// subsequent epoch then re-verifies the chain extension as usual.
+func (w *WorkerState) sealResume() error {
+	typ, body, err := w.c.AwaitRecord()
+	if err != nil {
+		return fmt.Errorf("session: worker awaiting resume stamp: %w", err)
+	}
+	if typ != net.RecEpochResume {
+		return fmt.Errorf("session: expected resume stamp, got record type %d", typ)
+	}
+	st, _, err := codec.DecodeStamp(body)
+	if err != nil {
+		return err
+	}
+	gh, pd, vd := w.g.Fingerprint(), shard.PartitionDigest(w.assign), ValuesDigest(w.prev)
+	switch {
+	case st.GraphHash != gh:
+		return fmt.Errorf("session: resume at epoch %d: graph fingerprint mismatch (stamp %#x, recomputed %#x)", st.Epoch, st.GraphHash, gh)
+	case st.PartDigest != pd:
+		return fmt.Errorf("session: resume at epoch %d: partition digest mismatch (stamp %#x, recomputed %#x)", st.Epoch, st.PartDigest, pd)
+	case st.ValuesDigest != vd:
+		return fmt.Errorf("session: resume at epoch %d: values digest mismatch (stamp %#x, recomputed %#x)", st.Epoch, st.ValuesDigest, vd)
+	}
+	w.epoch, w.chain = st.Epoch, st.ChainDigest
+	return w.echoStamp(st)
+}
+
+// killed consults the fault-injection hook and, on a hit, crashes the
+// worker mid-epoch: connection closed, caller returns net.ErrKilled.
+func (w *WorkerState) killed(phase obs.Phase, epoch int) bool {
+	if w.Kill != nil && w.Kill(phase, epoch) {
+		w.c.Close()
+		return true
+	}
+	return false
 }
 
 // sealEpochZero reads, verifies and echoes the epoch-0 stamp.
@@ -145,6 +217,11 @@ func (w *WorkerState) epochStep(body []byte) error {
 	}
 	if epoch != w.epoch+1 {
 		return fmt.Errorf("session: delta push for epoch %d, worker at %d", epoch, w.epoch)
+	}
+	// Fault-injection seam: death before any reply — the coordinator sees a
+	// reconverge-collection fault with nothing from this worker in yet.
+	if w.killed(obs.PhaseRepair, epoch) {
+		return net.ErrKilled
 	}
 	g2, err := d.Apply(w.g)
 	if err != nil {
@@ -183,6 +260,12 @@ func (w *WorkerState) epochStep(body []byte) error {
 	}
 	if err := w.c.Flush(); err != nil {
 		return err
+	}
+	// Fault-injection seam: death after the reconverge shipped — the
+	// coordinator keeps this worker's change set and recovers it through a
+	// full epoch redo at the stamp phase.
+	if w.killed(obs.PhaseRebalance, epoch) {
+		return net.ErrKilled
 	}
 
 	// Mid-epoch the coordinator owes us a stamp promptly: deadline-armed read.
