@@ -1,17 +1,19 @@
 // Command bench runs the substrate and engine benchmarks that track the
 // ROADMAP performance trajectory and writes the results as JSON. CI runs it
-// on every push and uploads the file as an artifact (BENCH_PR8.json), so the
-// repo accumulates comparable data points over time.
+// on every push and uploads the file as an artifact (BENCH_PR10.json), so
+// the repo accumulates comparable data points over time.
 //
 // Usage:
 //
-//	go run ./cmd/bench -out BENCH_PR8.json -label post-worker-pool
-//	go run ./cmd/bench -against BENCH_PR7.json -out BENCH_PR8.json
+//	go run ./cmd/bench -out BENCH_PR10.json -label post-stream-mesh
+//	go run ./cmd/bench -against BENCH_PR8.json -out BENCH_PR10.json
 //	go run ./cmd/bench -trace bench-trace.json
 //
 // The benchmark set mirrors BenchmarkEngines (all four execution engines on
 // the same BarabasiAlbert coreness run — the net rows measure the wire
-// protocol over in-memory pipes and over real unix sockets), the prod-scale
+// protocol over in-memory pipes and over real unix sockets, and the stream
+// rows the PR 10 worker↔worker mesh, whose per-worker wire totals land in
+// the row's stream_wire summary), the prod-scale
 // rows (PR 8: seq vs the worker pool vs the 4-shard cluster on one
 // BarabasiAlbert coreness run at -prodn nodes, 10⁶ by default — the scale
 // the worker-pool rewrite is for; 0 disables them), the substrate
@@ -65,6 +67,19 @@ type Result struct {
 	BytesOp  int64            `json:"b_op"`
 	AllocsOp int64            `json:"allocs_op"`
 	Phases   []obs.PhaseTotal `json:"phases,omitempty"`
+	Wire     *StreamWireRow   `json:"stream_wire,omitempty"`
+}
+
+// StreamWireRow summarizes a streamed row's data-plane load (PR 10): how
+// many bytes the busiest worker put on mesh links, the cluster total, and
+// how much of it was hypercube relay on behalf of third parties. The
+// numbers are deterministic, so they are comparable across reports — the
+// max_worker_bytes column is the one the coordinator-funnel claim rides on.
+type StreamWireRow struct {
+	MaxWorkerBytes int64 `json:"max_worker_bytes"`
+	TotalBytes     int64 `json:"total_bytes"`
+	RelayedBytes   int64 `json:"relayed_bytes"`
+	Chunks         int64 `json:"chunks"`
 }
 
 // Report is the file cmd/bench writes. Baseline, when present, is an earlier
@@ -104,7 +119,7 @@ func (f *flood) Round(c *dist.Ctx, inbox []dist.Message) {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_PR8.json", "output JSON path ('-' for stdout)")
+		out      = flag.String("out", "BENCH_PR10.json", "output JSON path ('-' for stdout)")
 		label    = flag.String("label", "current", "label recorded in the report")
 		n        = flag.Int("n", 10_000, "BarabasiAlbert node count for the engine workload")
 		prodn    = flag.Int("prodn", 1_000_000, "BarabasiAlbert node count for the prod-scale rows (0 disables)")
@@ -131,6 +146,13 @@ func main() {
 
 	unixNet := dnet.NewEngine(4, shard.Greedy{})
 	unixNet.Transport = dnet.TransportUnix
+	// PR 10 stream rows: same workload, round frames carried worker↔worker
+	// instead of through the coordinator funnel. net4 runs the full mesh;
+	// net16 sits at the default threshold and so exercises hypercube relay.
+	streamNet4 := dnet.NewEngine(4, shard.Greedy{})
+	streamNet4.Stream = true
+	streamNet16 := dnet.NewEngine(16, shard.Hash{})
+	streamNet16.Stream = true
 	engines := []struct {
 		name string
 		eng  dist.Engine
@@ -141,6 +163,8 @@ func main() {
 		{"engines/shard16-hash", shard.NewEngine(16, shard.Hash{})},
 		{"engines/net4-greedy-pipe", dnet.NewEngine(4, shard.Greedy{})},
 		{"engines/net4-greedy-unix", unixNet},
+		{"engines/net4-greedy-stream", streamNet4},
+		{"engines/net16-hash-stream", streamNet16},
 	}
 	for _, c := range engines {
 		c := c
@@ -153,6 +177,8 @@ func main() {
 			core.RunDistributed(g, core.Options{Rounds: T}, cliutil.Traced(c.eng, tr))
 		})
 	}
+	rep.wire("engines/net4-greedy-stream", streamNet4)
+	rep.wire("engines/net16-hash-stream", streamNet16)
 
 	// Prod-scale rows (PR 8): the workload the worker-pool rewrite exists
 	// for — one coreness run at -prodn nodes on the three engines a single
@@ -364,6 +390,27 @@ func (r *Report) add(name string, f func(*testing.B)) {
 		BytesOp:  res.AllocedBytesPerOp(),
 		AllocsOp: res.AllocsPerOp(),
 	})
+}
+
+// wire attaches the deterministic per-worker wire summary of eng's last
+// run to the named row.
+func (r *Report) wire(name string, eng *dnet.Engine) {
+	var s StreamWireRow
+	for _, w := range eng.StreamWire() {
+		v := w.Sent + w.Relayed
+		s.TotalBytes += v
+		s.RelayedBytes += w.Relayed
+		s.Chunks += w.Chunks
+		if v > s.MaxWorkerBytes {
+			s.MaxWorkerBytes = v
+		}
+	}
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			r.Results[i].Wire = &s
+			return
+		}
+	}
 }
 
 // attrib runs one traced pass of a row's workload and attaches the phase

@@ -30,6 +30,14 @@
 // sequential run on the *mutated* graph. TCP listeners work the same way
 // (-listen tcp:127.0.0.1:7001), but the protocol has no authentication or
 // encryption: keep it on localhost or a trusted link.
+//
+// With -stream (unix sockets only) round frames travel directly
+// worker↔worker over a mesh of data sockets at <control path>.mesh —
+// full mesh for small clusters, hypercube relay above the threshold —
+// while the coordinator shrinks to a round barrier and digest-matrix
+// verifier (DESIGN.md §14). The execution, ledger included, stays
+// byte-identical; -recover composes with it (the mesh falls back to full
+// topology so retained flows survive any single death).
 package main
 
 import (
@@ -79,7 +87,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cluster worker -listen unix:/path.sock|tcp:host:port [-session]
-  cluster coord  (-workers addr,addr,... | -spawn P) -gen ba -n 10000 [-seed S] [-eps E | -T T] [-lambda L] [-part NAME] [-churn OPS[:SEED] [-budget M]] [-recover] [-kill W:R] [-verify] [-json FILE] [-trace FILE]
+  cluster coord  (-workers addr,addr,... | -spawn P) -gen ba -n 10000 [-seed S] [-eps E | -T T] [-lambda L] [-part NAME] [-churn OPS[:SEED] [-budget M]] [-stream] [-recover] [-kill W:R] [-verify] [-json FILE] [-trace FILE]
   cluster serve  (-workers addr,addr,... | -spawn P) -control unix:/path.sock -gen ba -n 10000 [-seed S] [-eps E | -T T] [-part NAME] [-trace FILE] [-debug-addr host:port]
   cluster push   -connect unix:/path.sock -gen ba -n 10000 [-seed S] [-eps E | -T T] -epochs E [-ops N] [-churnseed S] [-budget M] [-verify] [-shutdown]
   cluster sub    -connect unix:/path.sock -topics coreness:5,topk:3 [-count N]
@@ -107,6 +115,7 @@ func runWorker(args []string) {
 	fs := flag.NewFlagSet("cluster worker", flag.ExitOnError)
 	listen := fs.String("listen", "unix:/tmp/dkc-worker.sock", "address to await the coordinator on")
 	sess := fs.Bool("session", false, "stay alive after the run and serve session epochs (DESIGN.md §10)")
+	meshGen := fs.Int("mesh-gen", 0, "mesh incarnation number for streamed respawns (set by the coordinator's respawn path, not by hand)")
 	fs.Parse(args)
 
 	network, addr, err := splitAddr(*listen)
@@ -161,6 +170,41 @@ func runWorker(args []string) {
 	w := dnet.NewWorker(c, g, assign)
 	w.Hello = h
 	w.Part = part // the churn rebalance, when the hello announces a delta
+
+	// Streamed delivery (DESIGN.md §14): the hello carries every shard's
+	// mesh endpoint; this worker binds its own (stable across respawns, so
+	// peers always dial the same per-shard address) and hands raw dial and
+	// accept closures to the mesh — link identity travels in the mesh hello
+	// record, not in the address.
+	if h.Stream {
+		maddrs := strings.Split(h.MeshSpec, ",")
+		if len(maddrs) != h.P {
+			fatalTell(c, fmt.Errorf("mesh spec names %d endpoints for %d workers", len(maddrs), h.P))
+		}
+		network, maddr, err := splitAddr(maddrs[h.Shard])
+		if err != nil {
+			fatalTell(c, err)
+		}
+		if network != "unix" {
+			fatalTell(c, fmt.Errorf("streamed delivery needs unix mesh sockets, got %q", maddrs[h.Shard]))
+		}
+		os.Remove(maddr) // a respawn rebinds the dead incarnation's address
+		mln, err := net.Listen(network, maddr)
+		if err != nil {
+			fatalTell(c, err)
+		}
+		defer mln.Close()
+		w.MeshDial = func(dst int) (net.Conn, error) {
+			nw, a, err := splitAddr(maddrs[dst])
+			if err != nil {
+				return nil, err
+			}
+			return net.Dial(nw, a)
+		}
+		w.MeshAccept = mln.Accept
+		w.MeshClose = func() { mln.Close() }
+		w.MeshGen = *meshGen
+	}
 
 	// The worker side of the protocol is just core.RunDistributed with the
 	// Worker as its engine — the same driver stack every other engine runs
@@ -225,6 +269,7 @@ func runCoord(args []string) {
 		churn    = fs.String("churn", "", cliutil.ChurnUsage)
 		budget   = fs.Int("budget", 0, "rebalance move budget under -churn (0 = whole frontier)")
 		verify   = fs.Bool("verify", false, "run the sequential engine locally and demand byte-identical Metrics and values")
+		stream   = fs.Bool("stream", false, "stream round frames directly worker↔worker over a unix-socket mesh (DESIGN.md §14) instead of relaying every frame through the coordinator")
 		recov    = fs.Bool("recover", false, "arm crash recovery (DESIGN.md §13): workers checkpoint every round and a dead worker is re-exec'd and restored instead of failing the run (requires -spawn)")
 		killSpec = fs.String("kill", "", "W:R — SIGKILL spawned worker W at the top of round R, the fault-injection half of the recovery smoke (requires -spawn)")
 		jsonOut  = fs.String("json", "", "write a JSON run report to this file")
@@ -276,13 +321,13 @@ func runCoord(args []string) {
 	runErr := func() error {
 		var addrs []string
 		// spawnWorker starts one worker subprocess listening on a; the
-		// respawn path reuses it with a fresh socket name.
-		spawnWorker := func(a string) (*exec.Cmd, error) {
+		// respawn path reuses it with a fresh socket name and extra flags.
+		spawnWorker := func(a string, extra ...string) (*exec.Cmd, error) {
 			exe, err := os.Executable()
 			if err != nil {
 				return nil, err
 			}
-			cmd := exec.Command(exe, "worker", "-listen", a)
+			cmd := exec.Command(exe, append([]string{"worker", "-listen", a}, extra...)...)
 			cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
 			if err := cmd.Start(); err != nil {
 				return nil, err
@@ -311,6 +356,23 @@ func runCoord(args []string) {
 		p := len(addrs)
 		if *killSpec != "" && killW >= p {
 			return fmt.Errorf("-kill worker %d of %d", killW, p)
+		}
+		// Mesh endpoints derive from the control sockets: shard i's data
+		// plane lives at <control path>.mesh, stable across respawns.
+		var meshSpec string
+		if *stream {
+			ms := make([]string, 0, p)
+			for _, a := range addrs {
+				network, path, err := splitAddr(a)
+				if err != nil {
+					return err
+				}
+				if network != "unix" {
+					return fmt.Errorf("-stream derives mesh endpoints from unix control sockets; %q is not one", a)
+				}
+				ms = append(ms, "unix:"+path+".mesh")
+			}
+			meshSpec = strings.Join(ms, ",")
 		}
 		assign := part.Partition(g, p)
 		// Under -churn the run executes on the mutated graph with the
@@ -364,6 +426,8 @@ func runCoord(args []string) {
 			Delta:      delta,
 			MoveBudget: *budget,
 			Trace:      tracer,
+			Stream:     *stream,
+			MeshSpec:   meshSpec,
 		}
 		if *recov {
 			rspec.Recover = true
@@ -373,10 +437,19 @@ func runCoord(args []string) {
 			// from its last retained checkpoint. Called from the coordinator
 			// goroutine, so appending to procs is race-free.
 			respawns := 0
+			meshGens := make([]int, p)
 			rspec.Respawn = func(s int) (*dnet.Conn, error) {
 				respawns++
 				a := fmt.Sprintf("unix:%s", filepath.Join(dir, fmt.Sprintf("w%d-r%d.sock", s, respawns)))
-				if _, err := spawnWorker(a); err != nil {
+				var extra []string
+				if *stream {
+					// Mesh-generation contract (dnet.Spec.Respawn): the new
+					// incarnation's gen is the per-shard respawn count, so
+					// peers can tell its links from the dead one's.
+					meshGens[s]++
+					extra = append(extra, "-mesh-gen", strconv.Itoa(meshGens[s]))
+				}
+				if _, err := spawnWorker(a, extra...); err != nil {
 					return nil, err
 				}
 				network, addr, err := splitAddr(a)
@@ -431,6 +504,20 @@ func runCoord(args []string) {
 		sm := rep.Sharding
 		fmt.Printf("  cluster: cut=%.3f crossMsgs=%d frameBytes=%d maxShardBytes=%d\n",
 			sm.EdgeCutFraction, sm.CrossMessages, sm.CrossFrameBytes, sm.MaxShardBytes)
+		if *stream && len(rep.StreamWire) > 0 {
+			var tot, max, relayed, chunks int64
+			for _, sw := range rep.StreamWire {
+				v := sw.Sent + sw.Relayed
+				tot += v
+				relayed += sw.Relayed
+				chunks += sw.Chunks
+				if v > max {
+					max = v
+				}
+			}
+			fmt.Printf("  stream: per-worker wire max=%d total=%d relayed=%d chunks=%d\n",
+				max, tot, relayed, chunks)
+		}
 		if delta.Len() > 0 {
 			fmt.Printf("  churn: ops=%d frontier=%d moved=%d movedKB=%.1f deltaBytes=%d cut %.3f→%.3f\n",
 				delta.Len(), cm.FrontierSize, cm.MovedNodes, float64(cm.MovedBytes)/1e3,

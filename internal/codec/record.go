@@ -106,14 +106,44 @@ type Hello struct {
 	// its driver state after every delivery and must honor Resume/Replay
 	// records after a re-admission handshake.
 	Recover bool
+	// Stream switches round delivery to direct worker↔worker frame
+	// streaming over a mesh of data connections (DESIGN.md §14); the
+	// coordinator then acts only as a round barrier and digest verifier.
+	Stream bool
+	// MeshKind selects the mesh topology when Stream is set: MeshFull or
+	// MeshCube. Every worker must agree (relay routing depends on it), so
+	// the coordinator decides and the hello pins it.
+	MeshKind byte
+	// Window is the per-peer flow-control window when Stream is set: the
+	// number of unacknowledged chunks a worker may have in flight toward
+	// each peer (0 means the protocol default).
+	Window int
+	// MeshSpec names the workers' mesh listen addresses (comma-joined,
+	// indexed by shard) for multi-process clusters; empty in-process, where
+	// the engine wires the mesh through an in-memory broker.
+	MeshSpec string
 }
+
+// Mesh topologies a streamed hello can pin (DESIGN.md §14).
+const (
+	// MeshFull is a full mesh: every worker holds a data connection to
+	// every other worker, one hop per flow.
+	MeshFull = byte(0)
+	// MeshCube is a hypercube: workers connect to their log2(P) bit
+	// neighbors and relay flows dimension-ordered (e-cube), so the per-
+	// worker connection count stays logarithmic at large P. Requires P to
+	// be a power of two.
+	MeshCube = byte(1)
+)
 
 // HandshakeVersion is the protocol version stamped into Hello and Welcome;
 // both sides reject a peer speaking any other version. Version 2 added
 // DeltaDigest and the delta record of the churn protocol (DESIGN.md §9);
 // version 3 added Hello.Recover and the checkpoint/resume/replay records of
-// the crash-recovery protocol (DESIGN.md §13).
-const HandshakeVersion = 3
+// the crash-recovery protocol (DESIGN.md §13); version 4 added the streamed
+// delivery fields (Stream, MeshKind, Window, MeshSpec) and the mesh record
+// types of DESIGN.md §14.
+const HandshakeVersion = 4
 
 // AppendHello appends the wire encoding of h to dst.
 func AppendHello(dst []byte, h Hello) []byte {
@@ -131,7 +161,11 @@ func AppendHello(dst []byte, h Hello) []byte {
 	dst = appendString(dst, h.PartName)
 	dst = appendString(dst, h.ProtoSpec)
 	dst = appendBool(dst, h.WantValues)
-	return appendBool(dst, h.Recover)
+	dst = appendBool(dst, h.Recover)
+	dst = appendBool(dst, h.Stream)
+	dst = append(dst, h.MeshKind)
+	dst = binary.AppendUvarint(dst, uint64(h.Window))
+	return appendString(dst, h.MeshSpec)
 }
 
 // DecodeHello decodes a Hello and returns the number of bytes consumed.
@@ -153,6 +187,13 @@ func DecodeHello(src []byte) (Hello, int, error) {
 	h.ProtoSpec = d.string()
 	h.WantValues = d.byte() != 0
 	h.Recover = d.byte() != 0
+	h.Stream = d.byte() != 0
+	h.MeshKind = d.byte()
+	h.Window = int(d.uvarint())
+	h.MeshSpec = d.string()
+	if d.err == nil && h.Window < 0 {
+		d.err = fmt.Errorf("negative field from oversized uvarint")
+	}
 	if d.err != nil {
 		return Hello{}, 0, fmt.Errorf("codec: bad hello record: %w", d.err)
 	}

@@ -52,6 +52,42 @@ const (
 	RecEpochResume = byte(22)
 )
 
+// Streamed-delivery record types (DESIGN.md §14), spoken only when
+// Hello.Stream armed them. recStreamDone..recStreamReplay travel on the
+// coordinator connection; recMeshHello..recWindow travel on the mesh data
+// connections between workers.
+const (
+	// recStreamDone replaces recDone on streamed rounds: worker→coordinator,
+	// codec.StreamDone (round, alive, per-peer sent digests). The coordinator
+	// releases the round barrier once all P arrive.
+	recStreamDone = byte(23)
+	// recStreamAck seals a streamed round after delivery: worker→coordinator,
+	// codec.StreamAck (per-peer recv digests + cumulative wire counters). The
+	// coordinator verifies sent[a][b] == recv[b][a] across the matrix.
+	recStreamAck = byte(24)
+	// recStreamResend asks a worker to re-send its retained flows toward a
+	// respawned peer: coordinator→worker, body is uvarint target, from, to
+	// (inclusive round range). The worker replays the retained chunk and end
+	// records verbatim — byte-identical by determinism, accepted idempotently
+	// by the receiver's Seq gate.
+	recStreamResend = byte(25)
+	// recStreamReplay announces one catch-up round to a resumed streamed
+	// worker: coordinator→worker, codec.Replay with Frames == 0 (the frames
+	// arrive over the mesh, not this connection). The worker re-steps with
+	// sends suppressed, awaits the resent flows, and delivers.
+	recStreamReplay = byte(26)
+	// recMeshHello opens a mesh connection: dialer→acceptor, body is uvarint
+	// src shard, generation. Generation lets a receiver prefer the link of a
+	// respawned incarnation over a stale one.
+	recMeshHello = byte(27)
+	// recPeerFrame is one streamed chunk: codec.PeerFrame header followed by
+	// Count shard.AppendMessage bodies.
+	recPeerFrame = byte(28)
+	// recWindow is a codec.Window record: a flow-control credit grant or an
+	// end-of-flow marker.
+	recWindow = byte(29)
+)
+
 // Session record types (DESIGN.md §10): the generalization of the one-shot
 // churn record recDelta into a long-lived epoch protocol spoken after a run
 // finishes instead of hanging up. They are exported — unlike the run records
@@ -107,10 +143,18 @@ type Conn struct {
 // NewConn wraps nc for record IO. The caller keeps ownership of nc's
 // lifetime; Close closes it.
 func NewConn(nc net.Conn) *Conn {
+	return NewConnSize(nc, 1<<16)
+}
+
+// NewConnSize is NewConn with an explicit buffer size. Mesh data connections
+// use small buffers (meshBufSize): a full mesh at P=64 holds ~2×63 links per
+// process and the coordinator-sized 64 KiB buffers would cost hundreds of
+// megabytes across the cluster for no throughput gain.
+func NewConnSize(nc net.Conn, size int) *Conn {
 	return &Conn{
 		nc: nc,
-		br: bufio.NewReaderSize(nc, 1<<16),
-		bw: bufio.NewWriterSize(nc, 1<<16),
+		br: bufio.NewReaderSize(nc, size),
+		bw: bufio.NewWriterSize(nc, size),
 	}
 }
 

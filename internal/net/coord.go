@@ -56,12 +56,33 @@ type Spec struct {
 	// given shard: the in-process engine spawns a goroutine on a fresh
 	// pipe, cmd/cluster re-execs the worker binary on a fresh socket.
 	// Recovery requires it; a nil Respawn with Recover set fails the run on
-	// the first death, exactly as if recovery were off.
+	// the first death, exactly as if recovery were off. Streamed runs add a
+	// contract: the new incarnation's mesh generation (Worker.MeshGen)
+	// must equal the number of Respawn calls performed for the shard, so
+	// the coordinator can name the incarnation in resend instructions.
 	Respawn func(shard int) (*Conn, error)
 	// OnRound, when non-nil, runs at the top of every round before the
 	// step broadcast — the fault-injection seam multi-process harnesses use
 	// to SIGKILL a worker at a chosen round.
 	OnRound func(t int)
+	// Stream arms streamed delivery (DESIGN.md §14): round traffic flows
+	// worker↔worker over a mesh of data connections, and the coordinator
+	// shrinks to a round-barrier and digest-verification service — it never
+	// sees a frame. Workers must be given mesh endpoints (Worker.MeshDial
+	// et al., or cmd/cluster's mesh listeners via MeshSpec).
+	Stream bool
+	// MeshThreshold is the P at or above which a streamed run uses the
+	// hypercube relay topology instead of the full mesh (power-of-two P
+	// only; ≤ 0 means the default of 16). Recovery forces the full mesh —
+	// resends need a direct path that a relay hop's death cannot sever.
+	MeshThreshold int
+	// Window is the per-peer flow-control window of a streamed run: how
+	// many unacknowledged chunks a sender may have in flight toward one
+	// destination (≤ 0 means the protocol default).
+	Window int
+	// MeshSpec names the workers' mesh listen addresses for multi-process
+	// streamed runs (comma-joined, indexed by shard); empty in-process.
+	MeshSpec string
 	// Trace, when set, records the coordinator's per-round barrier-wait and
 	// relay spans plus one Flow per relayed frame — the P×P matrix that
 	// makes the coordinator funnel visible. It observes bytes the ledger
@@ -94,6 +115,11 @@ type Report struct {
 	// Recoveries counts worker crash recoveries performed during the run
 	// (0 when recovery is disabled or nothing died).
 	Recoveries int
+	// StreamWire holds each worker's cumulative mesh wire counters as of
+	// its last acked round (streamed runs only; nil otherwise). It is
+	// observability, not protocol: the quantity that must stay ~flat per
+	// worker as P grows.
+	StreamWire []codec.StreamWire
 }
 
 // Assemble scatters the collected values into an n-sized vector (missing
@@ -320,6 +346,9 @@ func (h *Hub) Run(spec Spec) (dist.Metrics, *Report, error) {
 		hub:  h,
 		spec: spec,
 		rep:  &Report{Sharding: shard.ShardMetrics{P: p, PerShardBytes: make([]int64, p)}},
+	}
+	if spec.Stream {
+		c.rep.StreamWire = make([]codec.StreamWire, p)
 	}
 	if spec.Recover {
 		c.hellos = make([][]byte, p)
@@ -634,6 +663,10 @@ func (c *coordinator) run() (dist.Metrics, error) {
 			ProtoSpec:   c.spec.ProtoSpec,
 			WantValues:  c.spec.WantValues,
 			Recover:     c.spec.Recover,
+			Stream:      c.spec.Stream,
+			MeshKind:    meshKindFor(p, c.spec.MeshThreshold, c.spec.Recover),
+			Window:      c.spec.Window,
+			MeshSpec:    c.spec.MeshSpec,
 		}
 		helloRec := codec.AppendHello(nil, h)
 		if c.spec.Recover {
@@ -674,14 +707,14 @@ func (c *coordinator) run() (dist.Metrics, error) {
 	// The round loop mirrors dist.SeqEngine.Run condition for condition:
 	// Init is round 0 and always runs; round t runs while t ≤ maxRounds
 	// and someone is still alive; Rounds is the last t executed.
-	alive, err := c.round(0)
+	alive, err := c.anyRound(0)
 	if err != nil {
 		return dist.Metrics{}, err
 	}
 	rounds := 0
 	for t := 1; t <= c.spec.MaxRounds && alive > 0; t++ {
 		rounds = t
-		if alive, err = c.round(t); err != nil {
+		if alive, err = c.anyRound(t); err != nil {
 			return dist.Metrics{}, err
 		}
 	}
@@ -710,7 +743,7 @@ func (c *coordinator) run() (dist.Metrics, error) {
 			if !c.recoverable() {
 				return dist.Metrics{}, err
 			}
-			if err := c.restartWorker(i, rounds); err != nil {
+			if err := c.restart(i, rounds); err != nil {
 				return dist.Metrics{}, err
 			}
 			restarted[i] = true
@@ -754,7 +787,7 @@ func (c *coordinator) run() (dist.Metrics, error) {
 					}
 				}
 				if w >= 0 && !complete(w) {
-					if err := c.restartWorker(w, rounds); err != nil {
+					if err := c.restart(w, rounds); err != nil {
 						return dist.Metrics{}, err
 					}
 					restarted[w] = true

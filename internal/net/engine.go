@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"distkcore/internal/codec"
 	"distkcore/internal/dist"
 	"distkcore/internal/graph"
 	"distkcore/internal/obs"
@@ -54,6 +55,21 @@ type Engine struct {
 	// RetainRounds overrides the checkpoint/relay-history retention depth K
 	// (≤ 0 means the protocol default of 4).
 	RetainRounds int
+	// Stream arms streamed delivery (DESIGN.md §14): round traffic flows
+	// worker↔worker over an in-process mesh of net.Pipe links and the
+	// coordinator only runs the barrier/digest service. Results stay
+	// byte-identical to every other engine's.
+	Stream bool
+	// MeshThreshold is the P at or above which a streamed run relays over
+	// a hypercube instead of the full mesh (≤ 0 means the default of 16;
+	// power-of-two P only, and recovery forces the full mesh).
+	MeshThreshold int
+	// Window overrides the per-peer flow-control window of a streamed run
+	// (≤ 0 means the protocol default).
+	Window int
+	// ChunkBytes overrides the streaming chunk flush threshold (≤ 0 means
+	// shard.DefaultChunkBytes). Tests shrink it to force multi-chunk flows.
+	ChunkBytes int
 
 	p    int
 	part shard.Partitioner
@@ -74,6 +90,9 @@ type Engine struct {
 	// recovery count, both shared across WithWireLambda copies like sm.
 	kill  *killPlan
 	recov *int
+	// swire is the last streamed run's per-worker mesh wire counters,
+	// shared across WithWireLambda copies like sm.
+	swire *[]codec.StreamWire
 }
 
 // killPlan is one armed one-shot fault injection: worker dies the first
@@ -118,7 +137,15 @@ func NewEngine(p int, part shard.Partitioner) *Engine {
 	}
 	return &Engine{Transport: TransportPipe, p: p, part: part,
 		sm: &shard.ShardMetrics{}, churn: &netChurn{}, cm: &shard.ChurnMetrics{},
-		kill: &killPlan{}, recov: new(int)}
+		kill: &killPlan{}, recov: new(int), swire: new([]codec.StreamWire)}
+}
+
+// StreamWire returns each worker's cumulative mesh wire counters from the
+// most recent streamed Run (nil when Stream was off) — the per-worker wire
+// traffic that must stay ~flat as P grows, versus the relay coordinator's
+// funnel which grows with total traffic.
+func (e *Engine) StreamWire() []codec.StreamWire {
+	return append([]codec.StreamWire(nil), *e.swire...)
 }
 
 // KillAt arms a one-shot fault injection for the next Run: worker dies —
@@ -167,12 +194,17 @@ func (e *Engine) SetTracer(t *obs.Tracer) { e.trace = t }
 func (e *Engine) P() int { return e.p }
 
 // Name identifies the engine configuration in experiment tables,
-// e.g. "net:4/greedy" ("net:4/greedy/unix" off the default transport).
+// e.g. "net:4/greedy" ("net:4/greedy/unix" off the default transport,
+// "net:4/greedy/stream" with streamed delivery).
 func (e *Engine) Name() string {
-	if e.Transport == "" || e.Transport == TransportPipe {
-		return fmt.Sprintf("net:%d/%s", e.p, e.part.Name())
+	n := fmt.Sprintf("net:%d/%s", e.p, e.part.Name())
+	if e.Transport != "" && e.Transport != TransportPipe {
+		n += "/" + e.Transport
 	}
-	return fmt.Sprintf("net:%d/%s/%s", e.p, e.part.Name(), e.Transport)
+	if e.Stream {
+		n += "/stream"
+	}
+	return n
 }
 
 // WithWireLambda implements dist.Engine. The copy shares the cluster
@@ -245,10 +277,18 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 		}
 	}
 
+	var broker *meshBroker
+	if e.Stream {
+		spec.Stream = true
+		spec.MeshThreshold = e.MeshThreshold
+		spec.Window = e.Window
+		broker = newMeshBroker(p)
+	}
 	var wg sync.WaitGroup
 	// runWorker is the worker goroutine body, shared between the initial
-	// spawn loop and recovery respawns so both incarnations are identical.
-	runWorker := func(s int, c *Conn) {
+	// spawn loop and recovery respawns so both incarnations are identical;
+	// gen is the incarnation's mesh generation (0 initial, +1 per respawn).
+	runWorker := func(s, gen int, c *Conn) {
 		defer wg.Done()
 		defer c.Close()
 		// A panicking protocol hook (a factory bug) must not hang the
@@ -265,20 +305,34 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 		}()
 		w := &Worker{c: c, g: g, assign: assign, lam: e.lam, Delay: e.Delay, Part: e.part, Trace: e.trace}
 		w.Kill = func(ph obs.Phase, r int) bool { return e.kill.fire(ph, r, s) }
+		if broker != nil {
+			ib := broker.register(s)
+			w.MeshDial = broker.dial
+			w.MeshAccept = ib.accept
+			w.MeshClose = func() { broker.close(ib) }
+			w.MeshGen = gen
+			w.ChunkBytes = e.ChunkBytes
+			w.RetainRounds = e.RetainRounds
+			w.IOTimeout = e.IOTimeout
+		}
 		if _, err := w.run(g, factory, maxRounds); err != nil && !errors.Is(err, ErrKilled) {
 			c.SendError(err)
 		}
 	}
 	for s := 0; s < p; s++ {
 		wg.Add(1)
-		go runWorker(s, workers[s])
+		go runWorker(s, 0, workers[s])
 	}
 	if e.Recover {
 		spec.Recover = true
 		spec.RetainRounds = e.RetainRounds
 		// Respawned workers always run over a fresh net.Pipe pair, whatever
 		// the original transport: the protocol bytes are transport-agnostic
-		// and the pipe needs no listener plumbing.
+		// and the pipe needs no listener plumbing. meshGens implements the
+		// streamed Respawn contract — the new incarnation's mesh generation
+		// is the number of respawns performed for the shard. Touched only by
+		// the coordinator goroutine.
+		meshGens := make([]int, p)
 		spec.Respawn = func(s int) (*Conn, error) {
 			a, b := net.Pipe()
 			cc, wc := NewConn(a), NewConn(b)
@@ -286,8 +340,9 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 				cc.SetIOTimeout(e.IOTimeout)
 				wc.SetIOTimeout(e.IOTimeout)
 			}
+			meshGens[s]++
 			wg.Add(1)
-			go runWorker(s, wc)
+			go runWorker(s, meshGens[s], wc)
 			return cc, nil
 		}
 	}
@@ -302,9 +357,93 @@ func (e *Engine) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 		panic("net: " + err.Error())
 	}
 	*e.recov = rep.Recoveries
+	*e.swire = rep.StreamWire
 	rep.Sharding.EdgeCutFraction = shard.CutFraction(runG, runAssign)
 	*e.sm = rep.Sharding
 	return met
+}
+
+// meshBroker is the in-process stand-in for the mesh listeners of a real
+// deployment: each worker incarnation registers an inbox of inbound mesh
+// connections, and a dial manufactures a net.Pipe pair, parking one end in
+// the destination's current inbox. Respawns re-register, closing the dead
+// incarnation's inbox so its accept loop exits.
+type meshBroker struct {
+	mu      sync.Mutex
+	inboxes []*meshInbox
+}
+
+// meshInbox is one incarnation's inbound mesh connection queue.
+type meshInbox struct {
+	ch     chan net.Conn
+	closed bool
+}
+
+func newMeshBroker(p int) *meshBroker {
+	return &meshBroker{inboxes: make([]*meshInbox, p)}
+}
+
+// register installs a fresh inbox for shard s's newest incarnation, closing
+// any previous one.
+func (b *meshBroker) register(s int) *meshInbox {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if old := b.inboxes[s]; old != nil {
+		b.closeLocked(old)
+	}
+	// Buffered past the worst dial burst (every peer at once, twice over)
+	// so dialers never block parking a conn.
+	ib := &meshInbox{ch: make(chan net.Conn, 2*len(b.inboxes))}
+	b.inboxes[s] = ib
+	return ib
+}
+
+// close shuts one incarnation's inbox (idempotent): its accept loop exits,
+// and any parked conns are closed so their dialers' handshakes fail fast
+// and retry against the successor inbox.
+func (b *meshBroker) close(ib *meshInbox) {
+	b.mu.Lock()
+	b.closeLocked(ib)
+	b.mu.Unlock()
+}
+
+func (b *meshBroker) closeLocked(ib *meshInbox) {
+	if ib.closed {
+		return
+	}
+	ib.closed = true
+	close(ib.ch)
+	for c := range ib.ch {
+		c.Close()
+	}
+}
+
+// accept blocks for the next inbound mesh connection.
+func (ib *meshInbox) accept() (net.Conn, error) {
+	c, ok := <-ib.ch
+	if !ok {
+		return nil, errors.New("net: mesh inbox closed")
+	}
+	return c, nil
+}
+
+// dial connects to shard dst's current incarnation.
+func (b *meshBroker) dial(dst int) (net.Conn, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ib := b.inboxes[dst]
+	if ib == nil || ib.closed {
+		return nil, fmt.Errorf("net: mesh endpoint %d not accepting", dst)
+	}
+	a, c := net.Pipe()
+	select {
+	case ib.ch <- c:
+		return a, nil
+	default:
+		a.Close()
+		c.Close()
+		return nil, fmt.Errorf("net: mesh endpoint %d backlog full", dst)
+	}
 }
 
 // DialCluster establishes p coordinator↔worker connection pairs over the

@@ -24,8 +24,11 @@ import (
 // any checkpoint exists), 1 (first resumable round), the middle and the
 // final round (whose recovery surfaces at the finish phase).
 
-// killPhases are the worker-side fault-injection seams of the round loop.
+// killPhases are the worker-side fault-injection seams of the relay round
+// loop. The streamed loop replaces encode with the send tap and adds the
+// receive wait as a new seam, so its sweep covers send/recv instead.
 var killPhases = []obs.Phase{obs.PhaseStep, obs.PhaseEncode, obs.PhaseBarrierWait, obs.PhaseDeliver}
+var streamKillPhases = []obs.Phase{obs.PhaseStep, obs.PhaseSend, obs.PhaseBarrierWait, obs.PhaseRecv, obs.PhaseDeliver}
 
 func recoveryEngine(p int) *Engine {
 	e := NewEngine(p, shard.Hash{})
@@ -34,48 +37,68 @@ func recoveryEngine(p int) *Engine {
 	return e
 }
 
+// streamRecoveryEngine arms recovery on the streamed mesh. Tiny chunks force
+// the kill points to land mid-flow, so restarts exercise the seq-gated
+// resend path rather than whole-frame retransmits.
+func streamRecoveryEngine(p int) *Engine {
+	e := recoveryEngine(p)
+	e.Stream = true
+	e.ChunkBytes = 256
+	return e
+}
+
 func TestRecoverySweepBitIdentical(t *testing.T) {
 	g := graph.BarabasiAlbert(150, 3, 11)
 	T := core.TForEpsilon(g.N(), 0.5)
 	opt := core.Options{Rounds: T, Lambda: quantize.NewPowerGrid(0.1)}
-
-	// Undisturbed capture — note the reference runs WITH recovery armed
-	// (checkpoints flowing) so the sweep isolates the kill+restore path, and
-	// a plain recovery-armed run is separately pinned against seq below.
-	refEng := recoveryEngine(3)
-	ref, refMet := core.RunDistributed(g, opt, refEng)
-	refLedger := refEng.ClusterMetrics()
-	if refEng.Recoveries() != 0 {
-		t.Fatalf("undisturbed run recovered %d times", refEng.Recoveries())
-	}
 	seqRef, seqMet := core.RunDistributed(g, opt, dist.SeqEngine{})
-	if refMet != seqMet || !reflect.DeepEqual(ref.B, seqRef.B) {
-		t.Fatalf("recovery-armed run diverges from seq before any fault")
-	}
 
-	rounds := refMet.Rounds
-	killRounds := map[int]bool{0: true, 1: true, rounds / 2: true, rounds: true}
-	for w := 0; w < 3; w++ {
-		for _, ph := range killPhases {
-			for r := range killRounds {
-				name := fmt.Sprintf("w%d/%s/r%d", w, ph, r)
-				t.Run(name, func(t *testing.T) {
-					eng := recoveryEngine(3)
-					eng.KillAt(ph, r, w)
-					res, met := core.RunDistributed(g, opt, eng)
-					if n := eng.Recoveries(); n < 1 {
-						t.Fatalf("kill point never recovered (recoveries=%d)", n)
-					}
-					if met != refMet {
-						t.Errorf("metrics %+v, want %+v", met, refMet)
-					}
-					if !reflect.DeepEqual(res.B, ref.B) {
-						t.Errorf("B vector diverges from undisturbed run")
-					}
-					if lg := eng.ClusterMetrics(); !reflect.DeepEqual(lg, refLedger) {
-						t.Errorf("cluster ledger %+v, want %+v", lg, refLedger)
-					}
-				})
+	modes := []struct {
+		name   string
+		mk     func(int) *Engine
+		phases []obs.Phase
+	}{
+		{"relay", recoveryEngine, killPhases},
+		{"stream", streamRecoveryEngine, streamKillPhases},
+	}
+	for _, mode := range modes {
+		// Undisturbed capture — note the reference runs WITH recovery armed
+		// (checkpoints flowing) so the sweep isolates the kill+restore path,
+		// and a plain recovery-armed run is separately pinned against seq.
+		refEng := mode.mk(3)
+		ref, refMet := core.RunDistributed(g, opt, refEng)
+		refLedger := refEng.ClusterMetrics()
+		if refEng.Recoveries() != 0 {
+			t.Fatalf("%s: undisturbed run recovered %d times", mode.name, refEng.Recoveries())
+		}
+		if refMet != seqMet || !reflect.DeepEqual(ref.B, seqRef.B) {
+			t.Fatalf("%s: recovery-armed run diverges from seq before any fault", mode.name)
+		}
+
+		rounds := refMet.Rounds
+		killRounds := map[int]bool{0: true, 1: true, rounds / 2: true, rounds: true}
+		for w := 0; w < 3; w++ {
+			for _, ph := range mode.phases {
+				for r := range killRounds {
+					name := fmt.Sprintf("%s/w%d/%s/r%d", mode.name, w, ph, r)
+					t.Run(name, func(t *testing.T) {
+						eng := mode.mk(3)
+						eng.KillAt(ph, r, w)
+						res, met := core.RunDistributed(g, opt, eng)
+						if n := eng.Recoveries(); n < 1 {
+							t.Fatalf("kill point never recovered (recoveries=%d)", n)
+						}
+						if met != refMet {
+							t.Errorf("metrics %+v, want %+v", met, refMet)
+						}
+						if !reflect.DeepEqual(res.B, ref.B) {
+							t.Errorf("B vector diverges from undisturbed run")
+						}
+						if lg := eng.ClusterMetrics(); !reflect.DeepEqual(lg, refLedger) {
+							t.Errorf("cluster ledger %+v, want %+v", lg, refLedger)
+						}
+					})
+				}
 			}
 		}
 	}
@@ -143,5 +166,29 @@ func TestRecoveryNoGoroutineLeak(t *testing.T) {
 	}
 	if got := runtime.NumGoroutine(); got > before {
 		t.Fatalf("goroutines leaked across recovered runs: %d before, %d after", before, got)
+	}
+}
+
+// The streamed mesh multiplies the goroutine surface — per-link writer
+// loops and reader loops on every worker, plus the respawn path's fresh
+// mesh generation — and every one of them must drain at run end too.
+func TestStreamRecoveryNoGoroutineLeak(t *testing.T) {
+	g := graph.BarabasiAlbert(100, 3, 4)
+	opt := core.Options{Rounds: 8}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		eng := streamRecoveryEngine(2)
+		eng.KillAt(obs.PhaseBarrierWait, 2, i%2)
+		core.RunDistributed(g, opt, eng)
+		if eng.Recoveries() < 1 {
+			t.Fatalf("iteration %d never recovered", i)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutines leaked across streamed recovered runs: %d before, %d after", before, got)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"net"
+	"time"
 
 	"distkcore/internal/codec"
 	"distkcore/internal/dist"
@@ -89,11 +91,32 @@ type Worker struct {
 	// worker — connection closed, no error record, Run dies with ErrKilled.
 	Kill KillFunc
 
+	// Streamed-delivery plumbing (DESIGN.md §14), consulted only when the
+	// hello arms Stream. MeshDial opens a raw connection to a peer's mesh
+	// endpoint; MeshAccept blocks for the next inbound one (and must error
+	// out once MeshClose runs); MeshGen is this incarnation's generation —
+	// 0 initially, +1 per respawn, so peers prefer the newest link.
+	MeshDial   func(dst int) (net.Conn, error)
+	MeshAccept func() (net.Conn, error)
+	MeshClose  func()
+	MeshGen    int
+	// ChunkBytes overrides the streaming chunk flush threshold (0 means
+	// shard.DefaultChunkBytes). Every incarnation of every worker must use
+	// the same value: recovery re-steps re-produce the identical chunking.
+	ChunkBytes int
+	// RetainRounds is the streamed retention depth K for recovery resends
+	// (≤ 0 means the protocol default of 4, matching the coordinator's).
+	RetainRounds int
+	// IOTimeout bounds mesh formation, flush barriers and — without
+	// recovery — the receive barrier (0 means wait forever).
+	IOTimeout time.Duration
+
 	c      *Conn
 	g      *graph.Graph
 	assign []int
 	lam    quantize.Lambda
 	st     *workerState
+	mesh   *mesh
 }
 
 // NewWorker returns a worker endpoint over c for a run on g partitioned by
@@ -155,6 +178,11 @@ func (w *Worker) Run(g *graph.Graph, factory dist.Factory, maxRounds int) dist.M
 func (w *Worker) killed(phase obs.Phase, round int) bool {
 	if w.Kill != nil && w.Kill(phase, round) {
 		w.c.Close()
+		if w.mesh != nil {
+			// A dead process takes its mesh connections with it; closing
+			// them is what lets the peers observe the death.
+			w.mesh.Close()
+		}
 		return true
 	}
 	return false
@@ -274,6 +302,14 @@ func (w *Worker) run(g *graph.Graph, factory dist.Factory, maxRounds int) (dist.
 		}
 		return gh
 	})
+
+	if h.Stream {
+		// Streamed delivery (DESIGN.md §14): rounds flow worker↔worker over
+		// a mesh instead of through the coordinator. The mesh must form
+		// before the welcome — the coordinator treats the welcome as "ready
+		// for round records".
+		return w.runStream(h, lam, d, gh, local, assign, n)
+	}
 
 	if err := w.c.writeRecord(recWelcome, codec.AppendWelcome(nil, codec.Welcome{
 		Version:    codec.HandshakeVersion,

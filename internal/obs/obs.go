@@ -77,12 +77,27 @@ const (
 	// PhaseReplay is catch-up replay: re-sending one round of relayed
 	// frames to a recovered worker.
 	PhaseReplay
+	// PhaseSend is direct worker→worker streaming (DESIGN.md §14): chunking
+	// the round's cross-shard sends onto the mesh connections as they are
+	// produced. It replaces PhaseRelay on streamed runs — the relay funnel's
+	// bytes move here, split across the workers.
+	PhaseSend
+	// PhaseRecv is the streamed receive barrier: a worker, released by the
+	// coordinator, waiting for the end markers of every inbound mesh flow
+	// before it delivers.
+	PhaseRecv
+	// PhaseVerify is the streamed coordinator's round service: releasing the
+	// delivery barrier and checking the sent/received digest matrix. Its
+	// byte count is the verified flow volume — bytes the coordinator NEVER
+	// carried, unlike PhaseRelay's.
+	PhaseVerify
 	numPhases
 )
 
 var phaseNames = [numPhases]string{
 	"step", "encode", "relay", "deliver", "barrier-wait",
 	"repair", "rebalance", "publish", "epoch", "recover", "replay",
+	"send", "recv", "verify",
 }
 
 // String returns the phase's canonical name, e.g. "barrier-wait".
